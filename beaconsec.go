@@ -1,0 +1,307 @@
+// Package beaconsec is a from-scratch reproduction of "Detecting
+// Malicious Beacon Nodes for Secure Location Discovery in Wireless Sensor
+// Networks" (Liu, Ning & Du, ICDCS 2005): a complete simulated
+// sensor-network stack (cycle-accurate radio timing, CSMA link layer,
+// pairwise-key cryptography, wormhole attacks, multilateration) plus the
+// paper's contribution — detectors for malicious beacon signals, replay
+// filters, and base-station revocation.
+//
+// The package is a facade over the internal implementation; it exposes
+// the four things a user needs:
+//
+//   - the detector primitives (DetectorConfig, Observation, Verdict,
+//     CalibrateRTT) to embed the paper's checks in another system;
+//   - the closed-form analysis (DetectionRate, RevocationRate,
+//     AffectedNodes, ...) to size deployments;
+//   - the end-to-end scenario engine (PaperScenario, RunScenario) to
+//     simulate full networks under attack;
+//   - the experiment harness (Figures, RunFigure) to regenerate every
+//     figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	cfg := beaconsec.PaperScenario()
+//	cfg.Strategy = beaconsec.StrategyForP(0.2)
+//	res, err := beaconsec.RunScenario(cfg)
+//	// res.DetectionRate, res.FalsePositiveRate, res.AffectedPerMalicious ...
+package beaconsec
+
+import (
+	"beaconsec/internal/analysis"
+	"beaconsec/internal/core"
+	"beaconsec/internal/crypto"
+	"beaconsec/internal/deploy"
+	"beaconsec/internal/experiment"
+	"beaconsec/internal/geo"
+	"beaconsec/internal/georoute"
+	"beaconsec/internal/ident"
+	"beaconsec/internal/localization"
+	"beaconsec/internal/phy"
+	"beaconsec/internal/revoke"
+	"beaconsec/internal/rng"
+	"beaconsec/internal/scenario"
+	"beaconsec/internal/sim"
+	"beaconsec/internal/textplot"
+)
+
+// Geometry and identity.
+type (
+	// Point is a location in the sensing field, in feet.
+	Point = geo.Point
+	// Rect is an axis-aligned region of the field.
+	Rect = geo.Rect
+	// NodeID identifies a node or detecting pseudonym.
+	NodeID = ident.NodeID
+)
+
+// Square returns a side × side sensing field anchored at the origin.
+func Square(side float64) Rect { return geo.Square(side) }
+
+// Detector primitives (the paper's §2).
+type (
+	// DetectorConfig parameterizes the malicious-beacon-signal detector
+	// suite: ε_max, the RTT threshold, and the radio range.
+	DetectorConfig = core.Config
+	// Observation is one completed beacon exchange as seen by a
+	// requester.
+	Observation = core.Observation
+	// Verdict classifies an observation.
+	Verdict = core.Verdict
+	// Calibration is the empirical no-attack RTT distribution
+	// (Figure 4); its Threshold feeds DetectorConfig.MaxRTT.
+	Calibration = core.Calibration
+)
+
+// Verdicts.
+const (
+	VerdictBenign         = core.VerdictBenign
+	VerdictMalicious      = core.VerdictMalicious
+	VerdictWormholeReplay = core.VerdictWormholeReplay
+	VerdictLocalReplay    = core.VerdictLocalReplay
+)
+
+// CalibrateRTT measures trials simulated request/reply exchanges on a
+// MICA2-class radio stack and returns the empirical RTT distribution,
+// reproducing the paper's Figure 4 methodology.
+func CalibrateRTT(trials int, seed uint64) Calibration {
+	return core.CalibrateRTT(trials, phy.DefaultJitter(), seed)
+}
+
+// Analysis (the paper's §2.3 and §3.2 closed forms).
+type (
+	// Strategy is the malicious beacon's (p_n, p_w, p_l) behavior
+	// triple.
+	Strategy = analysis.Strategy
+	// Population holds (N, N_b, N_a).
+	Population = analysis.Population
+)
+
+// StrategyForP returns the canonical strategy with undetected-attack
+// probability P.
+func StrategyForP(p float64) Strategy { return analysis.StrategyForP(p) }
+
+// PaperPopulation returns the reconstructed evaluation population
+// (N=1000, N_b=110, N_a=10).
+func PaperPopulation() Population { return analysis.PaperPopulation() }
+
+// DetectionRate returns P_r = 1 - (1-P)^m (Figure 5).
+func DetectionRate(p float64, m int) float64 { return analysis.DetectionRate(p, m) }
+
+// RevocationRate returns P_d, the probability a malicious beacon with nc
+// requesters is revoked at alert threshold τ′ (Figures 6–7).
+func RevocationRate(p float64, m, tauPrime, nc int, pop Population) float64 {
+	return analysis.RevocationRate(p, m, tauPrime, nc, pop)
+}
+
+// AffectedNodes returns N′, the expected non-beacon nodes misled by one
+// malicious beacon after revocation (Figure 8).
+func AffectedNodes(p float64, m, tauPrime, nc int, pop Population) float64 {
+	return analysis.AffectedNodes(p, m, tauPrime, nc, pop)
+}
+
+// MaxAffected returns the attacker-optimal N′ and the P achieving it
+// (Figure 9).
+func MaxAffected(m, tauPrime, nc int, pop Population) (maxAffected, argP float64) {
+	return analysis.MaxAffected(m, tauPrime, nc, pop)
+}
+
+// FalsePositiveBound returns N_f, the worst-case benign revocations under
+// collusion and undetected wormholes.
+func FalsePositiveBound(nw, na, tau, tauPrime int, pd float64) float64 {
+	return analysis.FalsePositiveBound(nw, na, tau, tauPrime, pd)
+}
+
+// Scenario engine (the paper's §4 simulation).
+type (
+	// ScenarioConfig parameterizes an end-to-end run.
+	ScenarioConfig = scenario.Config
+	// ScenarioResult carries a run's measurements.
+	ScenarioResult = scenario.Result
+	// WormholeSpec places one wormhole tunnel.
+	WormholeSpec = scenario.WormholeSpec
+	// DeployConfig parameterizes the network deployment.
+	DeployConfig = deploy.Config
+	// RevocationConfig holds the (τ, τ′) thresholds.
+	RevocationConfig = revoke.Config
+)
+
+// PaperScenario returns the reconstructed §4 simulation configuration:
+// 1,000 nodes (110 beacons, 10 compromised) in a 1000×1000 ft field,
+// 150 ft range, m=8, p_d=0.9, (τ=10, τ′=2), one analog wormhole between
+// (100,100) and (800,700), colluding malicious reporters.
+func PaperScenario() ScenarioConfig { return scenario.Paper() }
+
+// PaperDeployment returns just the deployment part of the paper setup.
+func PaperDeployment() DeployConfig { return deploy.Paper() }
+
+// PaperWormhole returns the paper's wormhole placement.
+func PaperWormhole() WormholeSpec { return scenario.PaperWormhole() }
+
+// RunScenario executes one full simulation.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return scenario.Run(cfg) }
+
+// Localization substrate.
+type (
+	// Reference is one location reference (beacon location, measured
+	// distance).
+	Reference = localization.Reference
+)
+
+// Multilaterate estimates a position from distance references (linear
+// least squares + Gauss–Newton).
+func Multilaterate(refs []Reference) (Point, error) { return localization.Multilaterate(refs) }
+
+// RobustMultilaterate estimates a position while excluding references
+// inconsistent with the honest majority (least-median-of-squares subset
+// search + residual trimming); it returns the kept reference indices.
+func RobustMultilaterate(refs []Reference, maxResidual float64) (Point, []int, error) {
+	return localization.RobustMultilaterate(refs, maxResidual)
+}
+
+// Iterative (multi-tier) localization with beacon promotion — the §2.3
+// extension.
+type (
+	// IterativeConfig parameterizes multi-tier localization.
+	IterativeConfig = localization.IterativeConfig
+	// IterativeResult reports a multi-tier pass.
+	IterativeResult = localization.IterativeResult
+)
+
+// IterativeLocalize runs multi-tier localization with beacon promotion
+// over true positions; see localization.IterativeLocalize.
+func IterativeLocalize(truth []Point, isBeacon, liars []bool, lieOffset Point,
+	cfg IterativeConfig, seed uint64) IterativeResult {
+	return localization.IterativeLocalize(truth, isBeacon, liars, lieOffset, cfg, rng.New(seed))
+}
+
+// Angle-of-arrival support — the §2.3 "other measurements" variant.
+type (
+	// BearingReference is one AoA reference (beacon location, measured
+	// bearing).
+	BearingReference = localization.BearingReference
+	// AoAConfig parameterizes the AoA consistency check.
+	AoAConfig = core.AoAConfig
+	// AoAObservation is an exchange observed via bearing measurement.
+	AoAObservation = core.AoAObservation
+)
+
+// Triangulate estimates a position from bearing references (least-squares
+// line intersection).
+func Triangulate(refs []BearingReference) (Point, error) {
+	return localization.Triangulate(refs)
+}
+
+// DV-hop range-free baseline (Niculescu & Nath, cited).
+type (
+	// DVHopConfig parameterizes the range-free scheme.
+	DVHopConfig = localization.DVHopConfig
+	// DVHopResult reports one DV-hop pass.
+	DVHopResult = localization.DVHopResult
+)
+
+// DVHop runs range-free hop-count localization over true positions.
+func DVHop(truth []Point, isBeacon []bool, cfg DVHopConfig) DVHopResult {
+	return localization.DVHop(truth, isBeacon, cfg)
+}
+
+// Broadcast authentication (µTESLA, the cited mechanism behind
+// authenticated base-station revocation broadcasts).
+type (
+	// TeslaChain is the broadcaster's hash chain and schedule.
+	TeslaChain = crypto.TeslaChain
+	// TeslaReceiver verifies broadcasts under delayed key disclosure.
+	TeslaReceiver = crypto.TeslaReceiver
+)
+
+// NewTeslaChain generates a broadcaster chain of n keys.
+func NewTeslaChain(n int, interval sim.Time, delay int, start sim.Time, seed uint64) *TeslaChain {
+	return crypto.NewTeslaChain(n, interval, delay, start, rng.New(seed))
+}
+
+// NewTeslaReceiver builds a verifier from the predistributed chain anchor.
+func NewTeslaReceiver(anchor crypto.Key, interval sim.Time, delay int, start sim.Time) *TeslaReceiver {
+	return crypto.NewTeslaReceiver(anchor, interval, delay, start)
+}
+
+// Geographic routing (GPSR-style greedy forwarding), the paper's
+// motivating application.
+type (
+	// RoutingNetwork forwards packets greedily on believed positions
+	// over true radio connectivity.
+	RoutingNetwork = georoute.Network
+	// Route is one forwarding attempt's outcome.
+	Route = georoute.Route
+)
+
+// NewRoutingNetwork builds a forwarding substrate from true positions
+// (connectivity) and believed positions (forwarding decisions).
+func NewRoutingNetwork(truth, believed []Point, rangeFt float64) *RoutingNetwork {
+	return georoute.New(truth, believed, rangeFt)
+}
+
+// SimTime is the simulator's cycle-resolution clock type, exposed for the
+// µTESLA schedule parameters.
+type SimTime = sim.Time
+
+// Seconds converts wall-clock seconds to simulator cycles.
+func Seconds(s float64) SimTime { return sim.Seconds(s) }
+
+// MinMaxLocalize estimates a position with the bounding-box baseline.
+func MinMaxLocalize(refs []Reference) (Point, error) { return localization.MinMax(refs) }
+
+// CentroidLocalize estimates a position with the range-free centroid
+// baseline.
+func CentroidLocalize(refs []Reference) (Point, error) { return localization.Centroid(refs) }
+
+// Experiments (the paper's figures).
+type (
+	// ExperimentOptions tune figure regeneration cost.
+	ExperimentOptions = experiment.Options
+	// ExperimentResult is one regenerated figure.
+	ExperimentResult = experiment.Result
+	// Plot renders series as ASCII or CSV.
+	Plot = textplot.Plot
+	// PlotSeries is one labelled curve.
+	PlotSeries = textplot.Series
+)
+
+// Figures lists the IDs of every reproducible figure, in paper order.
+func Figures() []string {
+	runners := experiment.All()
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// RunFigure regenerates one figure by ID ("fig04" ... "fig14",
+// "extra-localization", "extra-ablation"). The second return is false for
+// unknown IDs.
+func RunFigure(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	r, ok := experiment.ByID(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return r.Run(o), true
+}

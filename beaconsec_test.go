@@ -1,0 +1,188 @@
+package beaconsec_test
+
+import (
+	"math"
+	"testing"
+
+	"beaconsec"
+)
+
+func TestFacadeQuickScenario(t *testing.T) {
+	cfg := beaconsec.PaperScenario()
+	cfg.Deploy.N = 300
+	cfg.Deploy.Nb = 33
+	cfg.Deploy.Na = 3
+	cfg.Deploy.Field = beaconsec.Square(550)
+	cfg.Strategy = beaconsec.StrategyForP(0.5)
+	cfg.Wormholes = nil
+	cfg.Collude = false
+	cfg.CalibrationTrials = 500
+	res, err := beaconsec.RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate < 0.5 {
+		t.Errorf("detection rate %v at P=0.5", res.DetectionRate)
+	}
+	if res.FalsePositiveRate != 0 {
+		t.Errorf("false positives %v without wormholes/collusion", res.FalsePositiveRate)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	if got := beaconsec.DetectionRate(0.5, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("DetectionRate = %v", got)
+	}
+	pop := beaconsec.PaperPopulation()
+	if pop.N != 1000 || pop.Nb != 110 || pop.Na != 10 {
+		t.Errorf("PaperPopulation = %+v", pop)
+	}
+	if pd := beaconsec.RevocationRate(0.3, 8, 2, 100, pop); pd <= 0 || pd > 1 {
+		t.Errorf("RevocationRate = %v", pd)
+	}
+	if n := beaconsec.AffectedNodes(0.3, 8, 2, 100, pop); n < 0 {
+		t.Errorf("AffectedNodes = %v", n)
+	}
+	maxN, argP := beaconsec.MaxAffected(8, 2, 100, pop)
+	if maxN <= 0 || argP <= 0 || argP > 1 {
+		t.Errorf("MaxAffected = %v at %v", maxN, argP)
+	}
+	if nf := beaconsec.FalsePositiveBound(10, 10, 10, 2, 0.9); math.Abs(nf-(0.1*10+110)/3) > 1e-9 {
+		t.Errorf("FalsePositiveBound = %v", nf)
+	}
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	cal := beaconsec.CalibrateRTT(500, 1)
+	if cal.Len() != 500 {
+		t.Fatalf("Len = %d", cal.Len())
+	}
+	if cal.Threshold() <= cal.XMax() {
+		t.Error("Threshold not above XMax")
+	}
+}
+
+func TestFacadeDetector(t *testing.T) {
+	cal := beaconsec.CalibrateRTT(500, 2)
+	cfg := beaconsec.DetectorConfig{
+		MaxDistError: 10,
+		MaxRTT:       cal.Threshold(),
+		Range:        150,
+	}
+	benign := beaconsec.Observation{
+		OwnLoc:       beaconsec.Point{X: 0, Y: 0},
+		OwnKnown:     true,
+		Claimed:      beaconsec.Point{X: 100, Y: 0},
+		MeasuredDist: 104,
+		RTT:          cal.XMin(),
+	}
+	if v := cfg.EvaluateDetector(benign); v != beaconsec.VerdictBenign {
+		t.Errorf("benign exchange verdict = %v", v)
+	}
+	attack := benign
+	attack.MeasuredDist = 140
+	if v := cfg.EvaluateDetector(attack); v != beaconsec.VerdictMalicious {
+		t.Errorf("attack verdict = %v", v)
+	}
+}
+
+func TestFacadeLocalization(t *testing.T) {
+	truth := beaconsec.Point{X: 40, Y: 35}
+	beacons := []beaconsec.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 50, Y: 90}}
+	refs := make([]beaconsec.Reference, len(beacons))
+	for i, b := range beacons {
+		refs[i] = beaconsec.Reference{Loc: b, Dist: truth.Dist(b)}
+	}
+	got, err := beaconsec.Multilaterate(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 1e-6 {
+		t.Errorf("Multilaterate = %v, want %v", got, truth)
+	}
+	if _, err := beaconsec.MinMaxLocalize(refs); err != nil {
+		t.Errorf("MinMax: %v", err)
+	}
+	if _, err := beaconsec.CentroidLocalize(refs); err != nil {
+		t.Errorf("Centroid: %v", err)
+	}
+}
+
+func TestFacadeFigures(t *testing.T) {
+	ids := beaconsec.Figures()
+	if len(ids) != 17 {
+		t.Fatalf("Figures() = %v", ids)
+	}
+	r, ok := beaconsec.RunFigure("fig05", beaconsec.ExperimentOptions{Quick: true, Seed: 1})
+	if !ok {
+		t.Fatal("fig05 unknown")
+	}
+	if len(r.Series) == 0 {
+		t.Error("fig05 empty")
+	}
+	if _, ok := beaconsec.RunFigure("bogus", beaconsec.ExperimentOptions{}); ok {
+		t.Error("bogus figure found")
+	}
+}
+
+func TestFacadeAoA(t *testing.T) {
+	truth := beaconsec.Point{X: 40, Y: 30}
+	beacons := []beaconsec.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 50, Y: 90}}
+	refs := make([]beaconsec.BearingReference, len(beacons))
+	for i, b := range beacons {
+		refs[i] = beaconsec.BearingReference{Loc: b, Bearing: bearing(truth, b)}
+	}
+	got, err := beaconsec.Triangulate(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 1e-6 {
+		t.Errorf("Triangulate = %v, want %v", got, truth)
+	}
+	a := beaconsec.AoAConfig{MaxAngleError: 0.05}
+	bad := beaconsec.AoAObservation{
+		OwnLoc: truth, OwnKnown: true,
+		Claimed:         beaconsec.Point{X: 0, Y: 0},
+		MeasuredBearing: bearing(truth, beaconsec.Point{X: 100, Y: 0}),
+	}
+	if !a.SignalMaliciousAoA(bad) {
+		t.Error("AoA mismatch not flagged")
+	}
+}
+
+func bearing(p, q beaconsec.Point) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+func TestFacadeDVHop(t *testing.T) {
+	var truth []beaconsec.Point
+	var isBeacon []bool
+	for x := 0.0; x < 500; x += 55 {
+		for y := 0.0; y < 500; y += 55 {
+			truth = append(truth, beaconsec.Point{X: x, Y: y})
+			isBeacon = append(isBeacon, int(x+y)%165 == 0)
+		}
+	}
+	res := beaconsec.DVHop(truth, isBeacon, beaconsec.DVHopConfig{Range: 120})
+	if res.HopDist <= 0 {
+		t.Fatalf("HopDist = %v", res.HopDist)
+	}
+}
+
+func TestFacadeTesla(t *testing.T) {
+	chain := beaconsec.NewTeslaChain(10, beaconsec.Seconds(1), 2, 0, 1)
+	recv := beaconsec.NewTeslaReceiver(chain.Anchor(), beaconsec.Seconds(1), 2, 0)
+	msg := []byte("revoke n9")
+	tag, interval := chain.Sign(msg, beaconsec.Seconds(3.5))
+	recv.Receive(msg, tag, interval, beaconsec.Seconds(3.6))
+	ix, key, ok := chain.Disclosable(beaconsec.Seconds(5.5))
+	if !ok {
+		t.Fatal("key not disclosable")
+	}
+	if err := recv.Disclose(key, ix); err != nil {
+		t.Fatal(err)
+	}
+	if len(recv.Accepted) != 1 {
+		t.Errorf("Accepted = %d", len(recv.Accepted))
+	}
+}

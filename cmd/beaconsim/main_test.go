@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallArgs(extra ...string) []string {
+	base := []string{"-n", "300", "-nb", "33", "-na", "3", "-seed", "2"}
+	return append(base, extra...)
+}
+
+func TestRunSmallNetwork(t *testing.T) {
+	var b strings.Builder
+	if err := run(smallArgs("-p", "0.5", "-wormhole=false", "-collude=false"), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"population", "N=300 Nb=33 Na=3",
+		"revoked malicious", "detection rate",
+		"localization", "radio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsInvalidPopulation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "10", "-nb", "20"}, &b); err == nil {
+		t.Error("Nb > N accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

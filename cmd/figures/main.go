@@ -1,0 +1,87 @@
+// Command figures regenerates the paper's evaluation figures (4–14) and
+// the two extension experiments, printing ASCII plots and optionally
+// writing CSV + text renderings to an output directory.
+//
+// Usage:
+//
+//	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"beaconsec/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	figs := fs.String("fig", "all", "comma-separated figure IDs, or 'all'")
+	quick := fs.Bool("quick", false, "reduced trials and network size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	outDir := fs.String("out", "", "directory for CSV and text output (optional)")
+	width := fs.Int("width", 72, "plot width in characters")
+	height := fs.Int("height", 20, "plot height in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var runners []experiment.Runner
+	if *figs == "all" {
+		runners = experiment.All()
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			r, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown figure %q (known: %s)", id, knownIDs())
+			}
+			runners = append(runners, r)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	opts := experiment.Options{Quick: *quick, Seed: *seed}
+	for _, r := range runners {
+		res := r.Run(opts)
+		plot := res.Plot()
+		rendered := plot.Render(*width, *height)
+		fmt.Fprintln(out, rendered)
+		for _, n := range res.Notes {
+			fmt.Fprintf(out, "  note: %s\n", n)
+		}
+		fmt.Fprintln(out)
+		if *outDir != "" {
+			if err := os.WriteFile(filepath.Join(*outDir, res.ID+".csv"), []byte(plot.CSV()), 0o644); err != nil {
+				return err
+			}
+			txt := rendered + "\n" + strings.Join(res.Notes, "\n") + "\n"
+			if err := os.WriteFile(filepath.Join(*outDir, res.ID+".txt"), []byte(txt), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func knownIDs() string {
+	var ids []string
+	for _, r := range experiment.All() {
+		ids = append(ids, r.ID)
+	}
+	return strings.Join(ids, ", ")
+}

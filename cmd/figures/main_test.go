@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig05", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fig05") || !strings.Contains(out, "m=8") {
+		t.Errorf("figure output incomplete:\n%s", out)
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig05,fig10", "-quick", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig05.csv", "fig05.txt", "fig10.csv", "fig10.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig05.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "series,x,y\n") {
+		t.Errorf("CSV header wrong: %q", string(csv[:20]))
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig", "fig99"}, &b)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("error does not name the bad figure: %v", err)
+	}
+}
+
+func TestKnownIDsListsAll(t *testing.T) {
+	ids := knownIDs()
+	for _, want := range []string{"fig04", "fig14", "extra-localization", "extra-distributed"} {
+		if !strings.Contains(ids, want) {
+			t.Errorf("knownIDs missing %s: %s", want, ids)
+		}
+	}
+}

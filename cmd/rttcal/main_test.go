@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-trials", "500", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"x_min", "x_max", "spread", "replay detection threshold", "500 exchanges"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadTrials(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-trials", "0"}, &b); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-nonsense"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

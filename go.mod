@@ -1,0 +1,3 @@
+module beaconsec
+
+go 1.22

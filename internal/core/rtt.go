@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"beaconsec/internal/geo"
+	"beaconsec/internal/phy"
+	"beaconsec/internal/rng"
+	"beaconsec/internal/sim"
+)
+
+// GuardBand is added to the observed no-attack maximum RTT to form the
+// local-replay threshold. One bit-time of slack covers the gap between an
+// empirical maximum over finitely many trials and the distribution's true
+// upper bound; a replay costs at least one full packet time (dozens of
+// byte-times), so the band cannot mask a real replay.
+const GuardBand = float64(phy.CyclesPerBit)
+
+// Calibration is the empirical no-attack RTT distribution (the paper's
+// Figure 4), measured by exchanging request/reply pairs between two
+// benign neighbor nodes and computing RTT = (t4-t1) - (t3-t2).
+type Calibration struct {
+	samples []float64 // sorted ascending
+}
+
+// CalibrateRTT measures trials request/reply exchanges on a dedicated
+// two-node network with the given jitter model and returns the empirical
+// distribution. The paper performs 10,000 trials on MICA2 motes; this is
+// the simulated equivalent.
+func CalibrateRTT(trials int, jitter phy.Jitter, seed uint64) Calibration {
+	if trials <= 0 {
+		panic(fmt.Sprintf("core: non-positive calibration trials %d", trials))
+	}
+	src := rng.New(seed)
+	sched := sim.New()
+	medium := phy.NewMedium(sched, src.Split("medium"), phy.Config{
+		Range:  150,
+		Jitter: jitter,
+	})
+	const dist = 100 // feet between the calibration pair
+	a := medium.NewRadio(geo.Point{X: 0, Y: 0})
+	b := medium.NewRadio(geo.Point{X: dist, Y: 0})
+
+	samples := make([]float64, 0, trials)
+	var t1, t2, t3 sim.Time
+	frame := func() phy.Frame { return phy.Frame{Data: make([]byte, 16)} }
+
+	b.SetHandler(func(rec phy.Reception) {
+		t2 = rec.FirstByteSPDR
+		// Modest randomized turnaround, standing in for MAC/processing
+		// delay; it cancels out of the RTT by construction.
+		delay := sim.Time(1000 + src.Intn(20000))
+		sched.After(delay, func() {
+			info := medium.Transmit(b, frame())
+			t3 = info.FirstByteSPDR
+		})
+	})
+	var kick func()
+	a.SetHandler(func(rec phy.Reception) {
+		t4 := rec.FirstByteSPDR
+		samples = append(samples, float64(t4-t1)-float64(t3-t2))
+		kick()
+	})
+	kick = func() {
+		if len(samples) >= trials {
+			return
+		}
+		// Leave air gaps between exchanges so they never overlap.
+		sched.After(sim.Millis(1), func() {
+			info := medium.Transmit(a, frame())
+			t1 = info.FirstByteSPDR
+		})
+	}
+	// Skip the first few thousand cycles so register-preload clamping at
+	// time zero cannot bias the first sample.
+	sched.At(sim.Millis(5), kick)
+	if err := sched.Run(); err != nil {
+		panic("core: calibration scheduler stopped: " + err.Error())
+	}
+
+	sort.Float64s(samples)
+	return Calibration{samples: samples}
+}
+
+// CalibrationFromSamples builds a Calibration from externally measured
+// RTTs (e.g. hardware traces).
+func CalibrationFromSamples(samples []float64) Calibration {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return Calibration{samples: s}
+}
+
+// Len returns the number of samples.
+func (c Calibration) Len() int { return len(c.samples) }
+
+// XMin returns the paper's x_min: the maximum x with F(x) = 0, i.e. the
+// smallest observed RTT.
+func (c Calibration) XMin() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return c.samples[0]
+}
+
+// XMax returns the paper's x_max: the minimum x with F(x) = 1, i.e. the
+// largest observed RTT.
+func (c Calibration) XMax() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return c.samples[len(c.samples)-1]
+}
+
+// CDF returns the empirical cumulative distribution F(x): the fraction of
+// observed RTTs ≤ x.
+func (c Calibration) CDF(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return float64(sort.SearchFloat64s(c.samples, x+1e-12)) / float64(len(c.samples))
+}
+
+// Quantile returns the q-th empirical quantile, q in [0, 1].
+func (c Calibration) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	i := int(q * float64(len(c.samples)))
+	return c.samples[i]
+}
+
+// SpreadBits returns the observed RTT spread in bit-times; the paper
+// reports ≈ 4.5 bits.
+func (c Calibration) SpreadBits() float64 {
+	return (c.XMax() - c.XMin()) / float64(phy.CyclesPerBit)
+}
+
+// Threshold returns the local-replay detection threshold: x_max plus the
+// guard band.
+func (c Calibration) Threshold() float64 { return c.XMax() + GuardBand }

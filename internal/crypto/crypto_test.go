@@ -1,0 +1,189 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beaconsec/internal/ident"
+)
+
+func TestKDFDeterministicAndContextBound(t *testing.T) {
+	var k Key
+	k[0] = 1
+	a := KDF(k, []byte("ctx1"))
+	b := KDF(k, []byte("ctx1"))
+	c := KDF(k, []byte("ctx2"))
+	if a != b {
+		t.Error("KDF not deterministic")
+	}
+	if a == c {
+		t.Error("KDF ignores context")
+	}
+}
+
+func TestKDFLengthPrefixing(t *testing.T) {
+	var k Key
+	a := KDF(k, []byte("ab"), []byte("c"))
+	b := KDF(k, []byte("a"), []byte("bc"))
+	if a == b {
+		t.Error("KDF context concatenation is ambiguous")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	var k Key
+	k[3] = 9
+	msg := []byte("beacon packet")
+	tag := Sign(k, msg)
+	if !Verify(k, msg, tag) {
+		t.Fatal("Verify rejects valid tag")
+	}
+	if Verify(k, []byte("beacon packeT"), tag) {
+		t.Error("Verify accepts modified message")
+	}
+	var k2 Key
+	k2[3] = 10
+	if Verify(k2, msg, tag) {
+		t.Error("Verify accepts tag under wrong key")
+	}
+	tag[0] ^= 1
+	if Verify(k, msg, tag) {
+		t.Error("Verify accepts modified tag")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	var k Key
+	k[7] = 0x42
+	f := func(msg []byte) bool {
+		return Verify(k, msg, Sign(k, msg))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseSymmetry(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	f := func(a, b uint16) bool {
+		ka := m.Pairwise(ident.NodeID(a), ident.NodeID(b))
+		kb := m.Pairwise(ident.NodeID(b), ident.NodeID(a))
+		return ka == kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseUnique(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	seen := make(map[Key][2]ident.NodeID)
+	for a := ident.NodeID(1); a <= 40; a++ {
+		for b := a + 1; b <= 40; b++ {
+			k := m.Pairwise(a, b)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("pairwise collision: (%v,%v) and (%v,%v)", a, b, prev[0], prev[1])
+			}
+			seen[k] = [2]ident.NodeID{a, b}
+		}
+	}
+}
+
+func TestDistinctMastersDistinctKeys(t *testing.T) {
+	m1 := NewMaster([]byte("seed-1"))
+	m2 := NewMaster([]byte("seed-2"))
+	if m1.Pairwise(1, 2) == m2.Pairwise(1, 2) {
+		t.Error("different masters produced the same pairwise key")
+	}
+}
+
+func TestBaseStationKeysUnique(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	if m.BaseStationKey(1) == m.BaseStationKey(2) {
+		t.Error("base-station keys collide across nodes")
+	}
+	if m.BaseStationKey(1) == m.Pairwise(1, 2) {
+		t.Error("base-station key collides with a pairwise key")
+	}
+}
+
+func TestStoreIdentities(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	s := NewStore(m, 5, 900, 901)
+	if !s.Owns(5) || !s.Owns(900) || !s.Owns(901) {
+		t.Error("store does not own provisioned identities")
+	}
+	if s.Owns(6) {
+		t.Error("store owns unprovisioned identity")
+	}
+	ids := s.Identities()
+	if len(ids) != 3 || ids[0] != 5 {
+		t.Errorf("Identities() = %v", ids)
+	}
+	ids[0] = 99 // callers must not be able to mutate internal state
+	if !s.Owns(5) {
+		t.Error("Identities() leaked internal slice")
+	}
+}
+
+func TestStorePairwiseMatchesPeer(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	alice := NewStore(m, 5)
+	bob := NewStore(m, 9)
+	if alice.PairwiseKey(5, 9) != bob.PairwiseKey(9, 5) {
+		t.Error("pairwise keys disagree between stores")
+	}
+}
+
+func TestStorePairwiseDetectingIdentity(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	// Beacon node 5 also holds detecting pseudonym 900.
+	beacon := NewStore(m, 5, 900)
+	target := NewStore(m, 9)
+	// Probing under the pseudonym must produce the key the target derives
+	// for "node 900" — the pseudonym is cryptographically a real node.
+	if beacon.PairwiseKey(900, 9) != target.PairwiseKey(9, 900) {
+		t.Error("detecting pseudonym key mismatch")
+	}
+}
+
+func TestStoreUnownedIdentityPanics(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	s := NewStore(m, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("PairwiseKey under unowned identity did not panic")
+		}
+	}()
+	s.PairwiseKey(6, 9)
+}
+
+func TestStoreBaseStationKey(t *testing.T) {
+	m := NewMaster([]byte("seed"))
+	s := NewStore(m, 5)
+	if s.BaseStationKey(5) != m.BaseStationKey(5) {
+		t.Error("store base-station key mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BaseStationKey for unowned identity did not panic")
+		}
+	}()
+	s.BaseStationKey(6)
+}
+
+func BenchmarkSign(b *testing.B) {
+	var k Key
+	msg := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sign(k, msg)
+	}
+}
+
+func BenchmarkPairwise(b *testing.B) {
+	m := NewMaster([]byte("seed"))
+	for i := 0; i < b.N; i++ {
+		m.Pairwise(ident.NodeID(i&0xff), ident.NodeID(i>>8&0xff))
+	}
+}

@@ -1,0 +1,183 @@
+package crypto
+
+import (
+	"strings"
+	"testing"
+
+	"beaconsec/internal/rng"
+	"beaconsec/internal/sim"
+)
+
+func newChain(t *testing.T) *TeslaChain {
+	t.Helper()
+	return NewTeslaChain(20, sim.Seconds(1), 2, 0, rng.New(7))
+}
+
+func TestTeslaChainStructure(t *testing.T) {
+	c := newChain(t)
+	// Anchor is reachable from every later key by hashing.
+	k := c.keys[len(c.keys)-1]
+	for i := len(c.keys) - 1; i > 0; i-- {
+		k = ChainLink(k)
+		if k != c.keys[i-1] {
+			t.Fatalf("chain broken at %d", i)
+		}
+	}
+	if k != c.Anchor() {
+		t.Fatal("chain does not terminate at the anchor")
+	}
+}
+
+func TestTeslaIntervalMapping(t *testing.T) {
+	c := newChain(t)
+	if c.IntervalAt(0) != 0 {
+		t.Errorf("IntervalAt(0) = %d", c.IntervalAt(0))
+	}
+	if got := c.IntervalAt(sim.Seconds(3.5)); got != 3 {
+		t.Errorf("IntervalAt(3.5s) = %d", got)
+	}
+	if got := c.IntervalAt(sim.Seconds(1e6)); got != 19 {
+		t.Errorf("IntervalAt(huge) = %d, want clamp to last", got)
+	}
+}
+
+func TestTeslaEndToEnd(t *testing.T) {
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+
+	msg := []byte("revoke n42")
+	now := sim.Seconds(3.2) // interval 3
+	tag, interval := c.Sign(msg, now)
+	r.Receive(msg, tag, interval, now+sim.Millis(30))
+
+	// Key for interval 3 becomes disclosable at interval 5.
+	discloseAt := sim.Seconds(5.1)
+	ix, key, ok := c.Disclosable(discloseAt)
+	if !ok || ix != 3 {
+		t.Fatalf("Disclosable at 5.1s = (%d, ok=%v), want interval 3", ix, ok)
+	}
+	if err := r.Disclose(key, ix); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 1 || string(r.Accepted[0]) != "revoke n42" {
+		t.Errorf("Accepted = %q", r.Accepted)
+	}
+	if r.Rejected != 0 || r.Unsafe != 0 {
+		t.Errorf("Rejected=%d Unsafe=%d", r.Rejected, r.Unsafe)
+	}
+}
+
+func TestTeslaRejectsForgedMessage(t *testing.T) {
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+
+	var forgedTag Tag
+	forgedTag[0] = 0xAA
+	r.Receive([]byte("revoke n1 (forged)"), forgedTag, 3, sim.Seconds(3.1))
+	ix, key, _ := c.Disclosable(sim.Seconds(5.5))
+	if err := r.Disclose(key, ix); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 0 {
+		t.Errorf("forged message accepted: %q", r.Accepted)
+	}
+	if r.Rejected != 1 {
+		t.Errorf("Rejected = %d", r.Rejected)
+	}
+}
+
+func TestTeslaSecurityCondition(t *testing.T) {
+	// A message claiming interval 1 but arriving in interval 4 is unsafe
+	// (its key may already be public) and must be dropped unverified.
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+	msg := []byte("late")
+	tag, _ := c.Sign(msg, sim.Seconds(1.5))
+	r.Receive(msg, tag, 1, sim.Seconds(4.5))
+	if r.Unsafe != 1 {
+		t.Errorf("Unsafe = %d, want 1", r.Unsafe)
+	}
+	if len(r.pending) != 0 {
+		t.Error("unsafe message buffered")
+	}
+}
+
+func TestTeslaRejectsWrongChainKey(t *testing.T) {
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+	var bogus Key
+	bogus[3] = 0x55
+	err := r.Disclose(bogus, 3)
+	if err == nil || !strings.Contains(err.Error(), "chain verification") {
+		t.Errorf("bogus key disclosure: %v", err)
+	}
+}
+
+func TestTeslaRejectsStaleKey(t *testing.T) {
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+	if err := r.Disclose(c.keys[3], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Disclose(c.keys[2], 2); err == nil {
+		t.Error("stale key accepted")
+	}
+}
+
+func TestTeslaSkippedIntervalsStillVerify(t *testing.T) {
+	// Receiver misses several disclosures; a later key must still verify
+	// against the old anchor by hashing across the gap.
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+	msg := []byte("gap")
+	tag, interval := c.Sign(msg, sim.Seconds(7.5))
+	r.Receive(msg, tag, interval, sim.Seconds(7.6))
+	if err := r.Disclose(c.keys[7], 7); err != nil {
+		t.Fatalf("disclosure across gap: %v", err)
+	}
+	if len(r.Accepted) != 1 {
+		t.Errorf("Accepted = %d", len(r.Accepted))
+	}
+}
+
+func TestTeslaDisclosableBeforeDelay(t *testing.T) {
+	c := newChain(t)
+	if _, _, ok := c.Disclosable(sim.Seconds(1.5)); ok {
+		t.Error("key disclosable before the delay elapsed")
+	}
+}
+
+func TestTeslaConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTeslaChain(1, sim.Seconds(1), 2, 0, rng.New(1)) },
+		func() { NewTeslaChain(10, 0, 2, 0, rng.New(1)) },
+		func() { NewTeslaChain(10, sim.Seconds(1), 0, 0, rng.New(1)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTeslaReceiverIsolatesBufferedMessage(t *testing.T) {
+	// Receive must copy the message: callers may reuse their buffer.
+	c := newChain(t)
+	r := NewTeslaReceiver(c.Anchor(), sim.Seconds(1), 2, 0)
+	buf := []byte("original")
+	tag, interval := c.Sign(buf, sim.Seconds(3.5))
+	r.Receive(buf, tag, interval, sim.Seconds(3.6))
+	copy(buf, "clobberd")
+	ix, key, _ := c.Disclosable(sim.Seconds(5.5))
+	if err := r.Disclose(key, ix); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accepted) != 1 || string(r.Accepted[0]) != "original" {
+		t.Errorf("buffered message not isolated: %q", r.Accepted)
+	}
+}

@@ -1,0 +1,133 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"beaconsec/internal/ident"
+	"beaconsec/internal/rng"
+)
+
+// PolyPool implements polynomial-based key predistribution (Blundo et
+// al., as used by the paper's citation [7], Liu & Ning's "Establishing
+// pairwise keys in distributed sensor networks"): a trusted setup draws a
+// random symmetric bivariate polynomial
+//
+//	f(x, y) = Σ a_ij x^i y^j  over GF(p),  a_ij = a_ji
+//
+// and provisions node u with the univariate share f(u, ·). Any two nodes
+// then compute the same pairwise key f(u, v) = f(v, u) with no further
+// communication, and the scheme is unconditionally secure against
+// coalitions of at most Degree compromised nodes.
+type PolyPool struct {
+	degree int
+	// coeff[i][j] with i <= j stores a_ij; symmetry supplies the rest.
+	coeff [][]uint64
+}
+
+// polyPrime is a 61-bit Mersenne prime (2^61 - 1): field arithmetic fits
+// comfortably in uint64 with 128-bit intermediate products.
+const polyPrime = (1 << 61) - 1
+
+// NewPolyPool draws a random symmetric bivariate polynomial of the given
+// degree (the collusion-resistance threshold t).
+func NewPolyPool(degree int, src *rng.Source) *PolyPool {
+	if degree < 1 {
+		panic(fmt.Sprintf("crypto: polynomial degree %d must be >= 1", degree))
+	}
+	p := &PolyPool{degree: degree, coeff: make([][]uint64, degree+1)}
+	for i := 0; i <= degree; i++ {
+		p.coeff[i] = make([]uint64, degree+1)
+	}
+	for i := 0; i <= degree; i++ {
+		for j := i; j <= degree; j++ {
+			v := src.Uint64() % polyPrime
+			p.coeff[i][j] = v
+			p.coeff[j][i] = v
+		}
+	}
+	return p
+}
+
+// Degree returns the collusion-resistance threshold.
+func (p *PolyPool) Degree() int { return p.degree }
+
+func mulmod(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// Reduction mod 2^61 - 1: x = hi·2^64 + lo ≡ hi·8 + lo (mod p) after
+	// folding 2^64 = 2^3·2^61 ≡ 8.
+	r := (lo & polyPrime) + (lo >> 61) + (hi << 3 & polyPrime) + (hi >> 58)
+	for r >= polyPrime {
+		r -= polyPrime
+	}
+	return r
+}
+
+// mul64 returns the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	c = t >> 32
+	mid := t & mask
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + (t >> 32)
+	return hi, lo
+}
+
+func addmod(a, b uint64) uint64 {
+	s := a + b
+	if s >= polyPrime || s < a {
+		s -= polyPrime
+	}
+	return s
+}
+
+// PolyShare is node u's univariate share g(y) = f(u, y): Degree+1
+// coefficients.
+type PolyShare struct {
+	id    ident.NodeID
+	coeff []uint64
+}
+
+// Share provisions node u's polynomial share.
+func (p *PolyPool) Share(u ident.NodeID) PolyShare {
+	x := uint64(u) + 1 // avoid evaluating at 0, where f(0,y) leaks a row
+	powers := make([]uint64, p.degree+1)
+	powers[0] = 1
+	for i := 1; i <= p.degree; i++ {
+		powers[i] = mulmod(powers[i-1], x)
+	}
+	share := PolyShare{id: u, coeff: make([]uint64, p.degree+1)}
+	for j := 0; j <= p.degree; j++ {
+		var acc uint64
+		for i := 0; i <= p.degree; i++ {
+			acc = addmod(acc, mulmod(p.coeff[i][j], powers[i]))
+		}
+		share.coeff[j] = acc
+	}
+	return share
+}
+
+// ID returns the share owner's identity.
+func (s PolyShare) ID() ident.NodeID { return s.id }
+
+// PairwiseKey evaluates the share at peer and expands the field element
+// into a symmetric key. PairwiseKey is symmetric across the two shares of
+// one pool: shareU.PairwiseKey(v) == shareV.PairwiseKey(u).
+func (s PolyShare) PairwiseKey(peer ident.NodeID) Key {
+	y := uint64(peer) + 1
+	// Horner evaluation of g at y.
+	var acc uint64
+	for j := len(s.coeff) - 1; j >= 0; j-- {
+		acc = addmod(mulmod(acc, y), s.coeff[j])
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], acc)
+	return KDF(Key{}, []byte("poly-pairwise"), buf[:])
+}

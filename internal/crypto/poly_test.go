@@ -1,0 +1,142 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beaconsec/internal/ident"
+	"beaconsec/internal/rng"
+)
+
+func TestPolyPairwiseSymmetry(t *testing.T) {
+	pool := NewPolyPool(16, rng.New(1))
+	f := func(a, b uint16) bool {
+		u, v := ident.NodeID(a), ident.NodeID(b)
+		su := pool.Share(u)
+		sv := pool.Share(v)
+		return su.PairwiseKey(v) == sv.PairwiseKey(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyPairwiseDistinct(t *testing.T) {
+	pool := NewPolyPool(8, rng.New(2))
+	seen := make(map[Key][2]ident.NodeID)
+	for a := ident.NodeID(1); a <= 30; a++ {
+		sa := pool.Share(a)
+		for b := a + 1; b <= 30; b++ {
+			k := sa.PairwiseKey(b)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key collision: (%v,%v) and (%v,%v)", a, b, prev[0], prev[1])
+			}
+			seen[k] = [2]ident.NodeID{a, b}
+		}
+	}
+}
+
+func TestPolyPoolsIndependent(t *testing.T) {
+	p1 := NewPolyPool(8, rng.New(3))
+	p2 := NewPolyPool(8, rng.New(4))
+	if p1.Share(1).PairwiseKey(2) == p2.Share(1).PairwiseKey(2) {
+		t.Error("different pools produced the same pairwise key")
+	}
+}
+
+func TestPolyShareMetadata(t *testing.T) {
+	pool := NewPolyPool(5, rng.New(5))
+	if pool.Degree() != 5 {
+		t.Errorf("Degree = %d", pool.Degree())
+	}
+	if got := pool.Share(7).ID(); got != 7 {
+		t.Errorf("share ID = %v", got)
+	}
+}
+
+func TestPolyDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("degree 0 did not panic")
+		}
+	}()
+	NewPolyPool(0, rng.New(1))
+}
+
+func TestMulmodAgainstBigIntuition(t *testing.T) {
+	// Sanity against straightforward cases where no reduction is needed.
+	tests := []struct{ a, b, want uint64 }{
+		{0, 12345, 0},
+		{1, polyPrime - 1, polyPrime - 1},
+		{2, 1 << 60, (1 << 61) % polyPrime}, // 2^61 ≡ 1
+		{polyPrime, 7, 0},                   // p ≡ 0
+	}
+	for _, tt := range tests {
+		if got := mulmod(tt.a, tt.b); got != tt.want {
+			t.Errorf("mulmod(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulmodCommutativeAssociative(t *testing.T) {
+	src := rng.New(6)
+	for i := 0; i < 5000; i++ {
+		a := src.Uint64() % polyPrime
+		b := src.Uint64() % polyPrime
+		c := src.Uint64() % polyPrime
+		if mulmod(a, b) != mulmod(b, a) {
+			t.Fatalf("mulmod not commutative for %d, %d", a, b)
+		}
+		if mulmod(mulmod(a, b), c) != mulmod(a, mulmod(b, c)) {
+			t.Fatalf("mulmod not associative for %d, %d, %d", a, b, c)
+		}
+	}
+}
+
+func TestMulmodDistributes(t *testing.T) {
+	src := rng.New(7)
+	for i := 0; i < 5000; i++ {
+		a := src.Uint64() % polyPrime
+		b := src.Uint64() % polyPrime
+		c := src.Uint64() % polyPrime
+		left := mulmod(a, addmod(b, c))
+		right := addmod(mulmod(a, b), mulmod(a, c))
+		if left != right {
+			t.Fatalf("distributivity fails for %d, %d, %d: %d != %d", a, b, c, left, right)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	tests := []struct {
+		a, b   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0) - 1, 1},
+		{^uint64(0), 2, 1, ^uint64(0) - 1},
+	}
+	for _, tt := range tests {
+		hi, lo := mul64(tt.a, tt.b)
+		if hi != tt.hi || lo != tt.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", tt.a, tt.b, hi, lo, tt.hi, tt.lo)
+		}
+	}
+}
+
+func BenchmarkPolyShare(b *testing.B) {
+	pool := NewPolyPool(32, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		pool.Share(ident.NodeID(i))
+	}
+}
+
+func BenchmarkPolyPairwiseKey(b *testing.B) {
+	pool := NewPolyPool(32, rng.New(1))
+	share := pool.Share(1)
+	for i := 0; i < b.N; i++ {
+		share.PairwiseKey(ident.NodeID(i))
+	}
+}

@@ -1,0 +1,175 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"beaconsec/internal/rng"
+)
+
+// Pool is an Eschenauer–Gligor random key pool: a large set of symmetric
+// keys from which each node is predistributed a random ring. Two nodes
+// that share at least one pool key can establish a link key; with the
+// q-composite variant (Chan, Perrig & Song) they must share at least q.
+//
+// The paper cites these schemes ([3,6,7]) as the source of its "unique
+// pairwise key" assumption; Pool implements them so the assumption is
+// discharged rather than hand-waved.
+type Pool struct {
+	keys []Key
+}
+
+// NewPool generates a pool of size keys from the given seed stream.
+func NewPool(size int, src *rng.Source) *Pool {
+	if size <= 0 {
+		panic(fmt.Sprintf("crypto: pool size %d must be positive", size))
+	}
+	p := &Pool{keys: make([]Key, size)}
+	for i := range p.keys {
+		for w := 0; w < KeySize/8; w++ {
+			binary.BigEndian.PutUint64(p.keys[i][w*8:], src.Uint64())
+		}
+	}
+	return p
+}
+
+// Size returns the number of keys in the pool.
+func (p *Pool) Size() int { return len(p.keys) }
+
+// Ring is one node's predistributed subset of the pool: sorted key
+// indices plus the key material.
+type Ring struct {
+	indices []int
+	keys    []Key
+}
+
+// DrawRing samples a ring of ringSize distinct pool keys for one node.
+func (p *Pool) DrawRing(ringSize int, src *rng.Source) Ring {
+	if ringSize <= 0 || ringSize > len(p.keys) {
+		panic(fmt.Sprintf("crypto: ring size %d out of range (pool %d)", ringSize, len(p.keys)))
+	}
+	// Partial Fisher–Yates over index space: O(pool) memory is fine at
+	// simulation scale and keeps the draw obviously uniform.
+	perm := src.Perm(len(p.keys))[:ringSize]
+	sortIdx(perm)
+	r := Ring{indices: perm, keys: make([]Key, ringSize)}
+	for i, idx := range perm {
+		r.keys[i] = p.keys[idx]
+	}
+	return r
+}
+
+// Indices returns a copy of the ring's sorted pool indices. Shared-key
+// discovery broadcasts these in the clear (the scheme's standard
+// challenge-free variant).
+func (r Ring) Indices() []int {
+	return append([]int(nil), r.indices...)
+}
+
+// Size returns the ring size.
+func (r Ring) Size() int { return len(r.indices) }
+
+// SharedIndices returns the sorted pool indices present in both rings.
+func SharedIndices(a, b Ring) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a.indices) && j < len(b.indices) {
+		switch {
+		case a.indices[i] < b.indices[j]:
+			i++
+		case a.indices[i] > b.indices[j]:
+			j++
+		default:
+			out = append(out, a.indices[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// LinkKey establishes the Eschenauer–Gligor link key between two rings:
+// the key at the smallest shared index, bound to the index by a KDF so
+// distinct shared indices give distinct link keys. The second return is
+// false if the rings share no key.
+func LinkKey(a, b Ring) (Key, bool) {
+	shared := SharedIndices(a, b)
+	if len(shared) == 0 {
+		return Key{}, false
+	}
+	return deriveLink(a, shared[:1]), true
+}
+
+// QCompositeLinkKey establishes a q-composite link key: it requires at
+// least q shared pool keys and hashes all of them together, so an
+// adversary must compromise every shared key to break the link. The
+// second return is false if fewer than q keys are shared.
+func QCompositeLinkKey(a, b Ring, q int) (Key, bool) {
+	if q < 1 {
+		panic(fmt.Sprintf("crypto: q-composite q = %d must be >= 1", q))
+	}
+	shared := SharedIndices(a, b)
+	if len(shared) < q {
+		return Key{}, false
+	}
+	return deriveLink(a, shared), true
+}
+
+// deriveLink hashes the shared key material (with indices) into a link
+// key. Both sides compute the same value because shared is sorted and the
+// key material at a shared index is identical in both rings.
+func deriveLink(a Ring, shared []int) Key {
+	ctx := make([][]byte, 0, 2*len(shared)+1)
+	ctx = append(ctx, []byte("eg-link"))
+	var acc Key
+	for _, idx := range shared {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(idx))
+		k := a.keyAt(idx)
+		ctx = append(ctx, buf[:], k[:])
+	}
+	return KDF(acc, ctx...)
+}
+
+func (r Ring) keyAt(poolIndex int) Key {
+	for i, idx := range r.indices {
+		if idx == poolIndex {
+			return r.keys[i]
+		}
+	}
+	panic(fmt.Sprintf("crypto: ring does not hold pool index %d", poolIndex))
+}
+
+// ConnectivityProbability returns the analytical probability that two
+// rings of size ringSize drawn from a pool of poolSize share at least one
+// key (Eschenauer–Gligor eq. 1):
+//
+//	p = 1 - ((P-k)! )^2 / (P! (P-2k)!)
+//
+// computed in log space to avoid overflow.
+func ConnectivityProbability(poolSize, ringSize int) float64 {
+	if ringSize <= 0 || poolSize <= 0 {
+		return 0
+	}
+	if 2*ringSize > poolSize {
+		return 1
+	}
+	// log p_miss = 2*lgamma(P-k+1) - lgamma(P+1) - lgamma(P-2k+1)
+	lg := func(n int) float64 {
+		v, _ := math.Lgamma(float64(n + 1))
+		return v
+	}
+	logMiss := 2*lg(poolSize-ringSize) - lg(poolSize) - lg(poolSize-2*ringSize)
+	return 1 - math.Exp(logMiss)
+}
+
+func sortIdx(a []int) {
+	// Rings are small (tens to low hundreds); insertion sort avoids
+	// pulling in sort for a hot predistribution loop.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package crypto
+
+import (
+	"math"
+	"testing"
+
+	"beaconsec/internal/rng"
+)
+
+func TestNewPoolDistinctKeys(t *testing.T) {
+	p := NewPool(100, rng.New(1))
+	if p.Size() != 100 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	seen := make(map[Key]bool, 100)
+	for _, k := range p.keys {
+		if seen[k] {
+			t.Fatal("pool contains duplicate keys")
+		}
+		seen[k] = true
+	}
+}
+
+func TestNewPoolInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0, rng.New(1))
+}
+
+func TestDrawRingSortedDistinct(t *testing.T) {
+	p := NewPool(1000, rng.New(2))
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		r := p.DrawRing(50, src)
+		if r.Size() != 50 {
+			t.Fatalf("ring size %d", r.Size())
+		}
+		idx := r.Indices()
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("ring indices not sorted-distinct: %v", idx)
+			}
+		}
+		for _, i := range idx {
+			if i < 0 || i >= p.Size() {
+				t.Fatalf("ring index %d out of pool range", i)
+			}
+		}
+	}
+}
+
+func TestDrawRingOutOfRangePanics(t *testing.T) {
+	p := NewPool(10, rng.New(1))
+	for _, size := range []int{0, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DrawRing(%d) did not panic", size)
+				}
+			}()
+			p.DrawRing(size, rng.New(1))
+		}()
+	}
+}
+
+func TestSharedIndices(t *testing.T) {
+	a := Ring{indices: []int{1, 3, 5, 9}}
+	b := Ring{indices: []int{2, 3, 9, 10}}
+	got := SharedIndices(a, b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Errorf("SharedIndices = %v, want [3 9]", got)
+	}
+	if got := SharedIndices(a, Ring{indices: []int{0, 2}}); len(got) != 0 {
+		t.Errorf("disjoint rings shared %v", got)
+	}
+}
+
+func TestLinkKeyAgreement(t *testing.T) {
+	p := NewPool(200, rng.New(4))
+	src := rng.New(5)
+	agreed := 0
+	for trial := 0; trial < 50; trial++ {
+		a := p.DrawRing(30, src)
+		b := p.DrawRing(30, src)
+		ka, oka := LinkKey(a, b)
+		kb, okb := LinkKey(b, a)
+		if oka != okb {
+			t.Fatal("link key establishment asymmetric")
+		}
+		if oka {
+			agreed++
+			if ka != kb {
+				t.Fatal("link keys disagree")
+			}
+			if ka == (Key{}) {
+				t.Fatal("link key is zero")
+			}
+		}
+	}
+	// Rings of 30 from a pool of 200 share a key with probability ~0.99+.
+	if agreed < 40 {
+		t.Errorf("only %d/50 ring pairs agreed on a key", agreed)
+	}
+}
+
+func TestLinkKeyNoShare(t *testing.T) {
+	a := Ring{indices: []int{1}, keys: make([]Key, 1)}
+	b := Ring{indices: []int{2}, keys: make([]Key, 1)}
+	if _, ok := LinkKey(a, b); ok {
+		t.Error("LinkKey succeeded with disjoint rings")
+	}
+}
+
+func TestQCompositeRequiresQ(t *testing.T) {
+	p := NewPool(50, rng.New(6))
+	src := rng.New(7)
+	a := p.DrawRing(20, src)
+	b := p.DrawRing(20, src)
+	shared := SharedIndices(a, b)
+	if len(shared) == 0 {
+		t.Skip("rings happened to be disjoint")
+	}
+	if _, ok := QCompositeLinkKey(a, b, len(shared)); !ok {
+		t.Error("q = |shared| rejected")
+	}
+	if _, ok := QCompositeLinkKey(a, b, len(shared)+1); ok {
+		t.Error("q = |shared|+1 accepted")
+	}
+	ka, _ := QCompositeLinkKey(a, b, 1)
+	kb, _ := QCompositeLinkKey(b, a, 1)
+	if ka != kb {
+		t.Error("q-composite keys disagree")
+	}
+}
+
+func TestQCompositeStrongerThanEG(t *testing.T) {
+	p := NewPool(50, rng.New(8))
+	src := rng.New(9)
+	a := p.DrawRing(20, src)
+	b := p.DrawRing(20, src)
+	shared := SharedIndices(a, b)
+	if len(shared) < 2 {
+		t.Skip("need >= 2 shared keys for this comparison")
+	}
+	eg, _ := LinkKey(a, b)
+	qc, _ := QCompositeLinkKey(a, b, 2)
+	if eg == qc {
+		t.Error("q-composite key equals single-key EG key; compromise of one pool key would break both")
+	}
+}
+
+func TestQCompositeInvalidQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("q=0 did not panic")
+		}
+	}()
+	QCompositeLinkKey(Ring{}, Ring{}, 0)
+}
+
+func TestConnectivityProbabilityAnalytic(t *testing.T) {
+	tests := []struct {
+		pool, ring int
+		want       float64
+		tol        float64
+	}{
+		{1, 1, 1, 0},               // ring exhausts pool
+		{100, 60, 1, 0},            // 2k > P forces overlap
+		{10000, 100, 0.6383, 0.01}, // classic EG figure: P=10000, k=100 -> ~0.63
+	}
+	for _, tt := range tests {
+		got := ConnectivityProbability(tt.pool, tt.ring)
+		if math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("ConnectivityProbability(%d,%d) = %v, want %v±%v",
+				tt.pool, tt.ring, got, tt.want, tt.tol)
+		}
+	}
+	if got := ConnectivityProbability(0, 5); got != 0 {
+		t.Errorf("zero pool: %v", got)
+	}
+	if got := ConnectivityProbability(100, 0); got != 0 {
+		t.Errorf("zero ring: %v", got)
+	}
+}
+
+func TestConnectivityProbabilityMatchesSimulation(t *testing.T) {
+	const poolSize, ringSize, trials = 500, 30, 2000
+	p := NewPool(poolSize, rng.New(10))
+	src := rng.New(11)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		a := p.DrawRing(ringSize, src)
+		b := p.DrawRing(ringSize, src)
+		if _, ok := LinkKey(a, b); ok {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	want := ConnectivityProbability(poolSize, ringSize)
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("simulated connectivity %v vs analytic %v", got, want)
+	}
+}
+
+func TestConnectivityMonotoneInRingSize(t *testing.T) {
+	prev := 0.0
+	for k := 1; k <= 100; k += 7 {
+		p := ConnectivityProbability(2000, k)
+		if p < prev-1e-12 {
+			t.Fatalf("connectivity not monotone at k=%d: %v < %v", k, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("connectivity out of [0,1] at k=%d: %v", k, p)
+		}
+		prev = p
+	}
+}
+
+func BenchmarkDrawRing(b *testing.B) {
+	p := NewPool(10000, rng.New(1))
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DrawRing(100, src)
+	}
+}
+
+func BenchmarkLinkKey(b *testing.B) {
+	p := NewPool(10000, rng.New(1))
+	src := rng.New(2)
+	r1 := p.DrawRing(100, src)
+	r2 := p.DrawRing(100, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LinkKey(r1, r2)
+	}
+}

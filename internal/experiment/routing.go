@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+
+	"beaconsec/internal/analysis"
+	"beaconsec/internal/geo"
+	"beaconsec/internal/georoute"
+	"beaconsec/internal/node"
+	"beaconsec/internal/rng"
+	"beaconsec/internal/scenario"
+	"beaconsec/internal/textplot"
+)
+
+// ExtraRouting is extension experiment E5: the paper's opening motivation
+// measured end to end. Geographic routing (GPSR-style greedy forwarding)
+// runs on the positions sensors *believe*; a malicious-beacon attack
+// poisons those positions, and the detect-and-revoke defense restores
+// them. The metric is end-to-end delivery rate over random node pairs.
+func ExtraRouting(o Options) Result {
+	ps := []float64{0.2, 0.5}
+	trials := 2
+	if o.Quick {
+		ps = []float64{0.5}
+		trials = 1
+	}
+
+	variant := func(p float64, defended bool) float64 {
+		var acc float64
+		for tr := 0; tr < trials; tr++ {
+			cfg := scenario.Paper()
+			cfg.Strategy = analysis.StrategyForP(p)
+			cfg.Collude = false
+			cfg.CalibrationTrials = 500
+			cfg.Seed = o.Seed + uint64(tr)*19
+			cfg.Deploy.Seed = o.Seed + uint64(tr)
+			if o.Quick {
+				cfg.Deploy.N = 300
+				cfg.Deploy.Nb = 33
+				cfg.Deploy.Na = 3
+				cfg.Deploy.Field = geo.Square(550)
+			}
+			if !defended {
+				cfg.DisableRTTFilter = true
+				cfg.DisableWormholeFilter = true
+				cfg.Revoke.AlertThreshold = 1 << 20
+			}
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			acc += routeOnEstimates(res, cfg, o.Seed+uint64(tr))
+		}
+		return acc / float64(trials)
+	}
+
+	res := Result{
+		ID:     "extra-routing",
+		Title:  "E5: geographic-routing delivery rate on believed positions",
+		XLabel: "P",
+		YLabel: "delivery rate",
+	}
+	var defY, undefY []float64
+	for _, p := range ps {
+		defY = append(defY, variant(p, true))
+		undefY = append(undefY, variant(p, false))
+	}
+	res.Series = []textplot.Series{
+		{Label: "defended (detect+revoke)", X: ps, Y: defY},
+		{Label: "undefended", X: ps, Y: undefY},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"at P=%.1f: delivery %.2f defended vs %.2f undefended — corrupted positions break greedy forwarding",
+		ps[len(ps)-1], defY[len(defY)-1], undefY[len(undefY)-1]))
+	return res
+}
+
+// routeOnEstimates builds the routing substrate from a finished
+// simulation: true positions from the deployment, believed positions from
+// each sensor's localization outcome. Sensors that failed to localize do
+// not participate — a node without a position cannot make or appear in
+// geographic forwarding decisions (GPSR's requirement).
+func routeOnEstimates(res *scenario.Result, cfg scenario.Config, seed uint64) float64 {
+	var truth, believed []geo.Point
+	add := func(tru, bel geo.Point) {
+		truth = append(truth, tru)
+		believed = append(believed, bel)
+	}
+	for _, s := range res.Sensors() {
+		est, err := s.Localize()
+		if err != nil {
+			continue
+		}
+		add(s.TrueLoc(), est)
+	}
+	// Beacons participate in forwarding with their true (known)
+	// positions.
+	for _, b := range res.Beacons() {
+		loc := beaconLoc(res, b)
+		add(loc, loc)
+	}
+	net := georoute.New(truth, believed, cfg.Deploy.Range)
+	src := rng.New(seed ^ 0x9047E)
+	pairs := make([][2]int, 300)
+	for i := range pairs {
+		pairs[i] = [2]int{src.Intn(len(truth)), src.Intn(len(truth))}
+	}
+	rate, _ := net.DeliveryRate(pairs)
+	return rate
+}
+
+func beaconLoc(res *scenario.Result, b *node.Beacon) geo.Point {
+	return b.TrueLoc()
+}

@@ -1,0 +1,232 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"beaconsec/internal/rng"
+)
+
+func TestDistKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+		{"paper wormhole span", Point{100, 100}, Point{800, 700}, math.Hypot(700, 600)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyAbnormal(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	src := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		a := Point{src.Uniform(-100, 100), src.Uniform(-100, 100)}
+		b := Point{src.Uniform(-100, 100), src.Uniform(-100, 100)}
+		c := Point{src.Uniform(-100, 100), src.Uniform(-100, 100)}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDist2ConsistentWithDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyAbnormal(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyAbnormal(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(1000)
+	if r.Width() != 1000 || r.Height() != 1000 {
+		t.Fatalf("Square(1000) has extent %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Point{0, 0}) {
+		t.Error("Contains(min corner) = false")
+	}
+	if r.Contains(Point{1000, 500}) {
+		t.Error("Contains(max edge) = true, want half-open")
+	}
+	if r.Contains(Point{-1, 5}) {
+		t.Error("Contains(outside) = true")
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := Square(10)
+	c := r.Clamp(Point{-5, 20})
+	if !r.Contains(c) {
+		t.Errorf("Clamp result %v not contained in rect", c)
+	}
+	inside := Point{3, 4}
+	if got := r.Clamp(inside); got != inside {
+		t.Errorf("Clamp moved interior point: %v", got)
+	}
+}
+
+// bruteWithin is the reference implementation the index must agree with.
+func bruteWithin(points []Point, p Point, r float64, exclude int) []int {
+	var out []int
+	for i, q := range points {
+		if i == exclude {
+			continue
+		}
+		if q.Dist(p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func randomPoints(seed uint64, n int, side float64) []Point {
+	src := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{src.Uniform(0, side), src.Uniform(0, side)}
+	}
+	return pts
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(99, 500, 1000)
+	idx := NewIndex(Square(1000), pts, 150)
+	src := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		q := Point{src.Uniform(-50, 1050), src.Uniform(-50, 1050)}
+		r := src.Uniform(0, 300)
+		exclude := src.Intn(len(pts))
+		got := idx.Within(q, r, exclude, nil)
+		want := bruteWithin(pts, q, r, exclude)
+		if !equalInts(got, want) {
+			t.Fatalf("trial %d: Within(%v, %.1f) = %v, want %v", trial, q, r, got, want)
+		}
+	}
+}
+
+func TestIndexZeroRadius(t *testing.T) {
+	pts := []Point{{5, 5}, {6, 6}}
+	idx := NewIndex(Square(10), pts, 1)
+	got := idx.Within(Point{5, 5}, 0, -1, nil)
+	if !equalInts(got, []int{0}) {
+		t.Errorf("zero-radius query = %v, want [0]", got)
+	}
+	if got := idx.Within(Point{5, 5}, -1, -1, nil); len(got) != 0 {
+		t.Errorf("negative-radius query = %v, want empty", got)
+	}
+}
+
+func TestIndexAppendsToDst(t *testing.T) {
+	pts := []Point{{1, 1}}
+	idx := NewIndex(Square(10), pts, 5)
+	dst := []int{42}
+	got := idx.Within(Point{1, 1}, 5, -1, dst)
+	if len(got) != 2 || got[0] != 42 || got[1] != 0 {
+		t.Errorf("Within did not append: %v", got)
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4}}
+	idx := NewIndex(Square(10), pts, 5)
+	if idx.Len() != 2 {
+		t.Errorf("Len = %d", idx.Len())
+	}
+	if idx.Point(1) != (Point{3, 4}) {
+		t.Errorf("Point(1) = %v", idx.Point(1))
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	idx := NewIndex(Square(10), nil, 5)
+	if got := idx.Within(Point{5, 5}, 100, -1, nil); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+}
+
+func TestIndexDefaultCellSize(t *testing.T) {
+	pts := randomPoints(3, 50, 100)
+	idx := NewIndex(Square(100), pts, 0)
+	got := idx.Within(Point{50, 50}, 30, -1, nil)
+	want := bruteWithin(pts, Point{50, 50}, 30, -1)
+	if !equalInts(got, want) {
+		t.Errorf("default cell size query = %v, want %v", got, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkIndexWithin(b *testing.B) {
+	pts := randomPoints(1, 1000, 1000)
+	idx := NewIndex(Square(1000), pts, 150)
+	buf := make([]int, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = idx.Within(pts[i%len(pts)], 150, i%len(pts), buf[:0])
+	}
+}

@@ -1,0 +1,106 @@
+// Package ident defines node identity types shared by every protocol layer.
+//
+// The paper distinguishes beacon-node IDs from non-beacon IDs: a detecting
+// beacon node probes its peers under a "detecting ID" that must be
+// recognized as a non-beacon ID, so a malicious beacon cannot tell probes
+// from genuine location requests. This package owns that ID-space split.
+package ident
+
+import "fmt"
+
+// NodeID identifies a node (or a detecting pseudonym) on the network.
+type NodeID uint16
+
+// Reserved IDs.
+const (
+	// BaseStation is the well-known address of the base station.
+	BaseStation NodeID = 0xFFFF
+	// Broadcast addresses every radio in range.
+	Broadcast NodeID = 0xFFFE
+	// Nobody is the zero "no node" sentinel; valid node IDs start at 1,
+	// following the start-enums-at-one convention so the zero value is
+	// never a real node.
+	Nobody NodeID = 0
+)
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	switch id {
+	case BaseStation:
+		return "base"
+	case Broadcast:
+		return "bcast"
+	case Nobody:
+		return "none"
+	default:
+		return fmt.Sprintf("n%d", uint16(id))
+	}
+}
+
+// IsUnicast reports whether id addresses a single ordinary node.
+func (id NodeID) IsUnicast() bool {
+	return id != Broadcast && id != Nobody
+}
+
+// Space assigns ID ranges to node populations. Beacon IDs and non-beacon
+// IDs come from disjoint ranges; detecting IDs are allocated from the
+// non-beacon range *above* the real non-beacon nodes, so they are
+// indistinguishable from non-beacon IDs by construction (the attacker only
+// learns "this requester is not a beacon").
+type Space struct {
+	// NumBeacons is the number of beacon nodes; their IDs are
+	// [1, NumBeacons].
+	NumBeacons int
+	// NumSensors is the number of non-beacon sensor nodes; their IDs are
+	// [NumBeacons+1, NumBeacons+NumSensors].
+	NumSensors int
+	// DetectingIDs is the number of detecting pseudonyms per beacon node
+	// (the paper's m).
+	DetectingIDs int
+}
+
+// BeaconID returns the ID of the i-th beacon node, i in [0, NumBeacons).
+func (s Space) BeaconID(i int) NodeID {
+	if i < 0 || i >= s.NumBeacons {
+		panic(fmt.Sprintf("ident: beacon index %d out of range [0,%d)", i, s.NumBeacons))
+	}
+	return NodeID(1 + i)
+}
+
+// SensorID returns the ID of the i-th non-beacon node.
+func (s Space) SensorID(i int) NodeID {
+	if i < 0 || i >= s.NumSensors {
+		panic(fmt.Sprintf("ident: sensor index %d out of range [0,%d)", i, s.NumSensors))
+	}
+	return NodeID(1 + s.NumBeacons + i)
+}
+
+// DetectingID returns the j-th detecting pseudonym of the i-th beacon
+// node. Detecting IDs live in the non-beacon range.
+func (s Space) DetectingID(i, j int) NodeID {
+	if j < 0 || j >= s.DetectingIDs {
+		panic(fmt.Sprintf("ident: detecting index %d out of range [0,%d)", j, s.DetectingIDs))
+	}
+	if i < 0 || i >= s.NumBeacons {
+		panic(fmt.Sprintf("ident: beacon index %d out of range [0,%d)", i, s.NumBeacons))
+	}
+	return NodeID(1 + s.NumBeacons + s.NumSensors + i*s.DetectingIDs + j)
+}
+
+// IsBeaconID reports whether id belongs to the beacon range. This is the
+// public knowledge every node (including the attacker) has.
+func (s Space) IsBeaconID(id NodeID) bool {
+	return id >= 1 && int(id) <= s.NumBeacons
+}
+
+// Total returns the total number of allocated IDs, including pseudonyms.
+func (s Space) Total() int {
+	return s.NumBeacons + s.NumSensors + s.NumBeacons*s.DetectingIDs
+}
+
+// Valid reports whether the space fits in the NodeID range, keeping clear
+// of the reserved top-of-range addresses.
+func (s Space) Valid() bool {
+	return s.NumBeacons >= 0 && s.NumSensors >= 0 && s.DetectingIDs >= 0 &&
+		s.Total() < int(Broadcast)-1
+}

@@ -1,0 +1,127 @@
+package ident
+
+import "testing"
+
+func TestStringForms(t *testing.T) {
+	tests := []struct {
+		id   NodeID
+		want string
+	}{
+		{BaseStation, "base"},
+		{Broadcast, "bcast"},
+		{Nobody, "none"},
+		{NodeID(7), "n7"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", uint16(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestIsUnicast(t *testing.T) {
+	if Broadcast.IsUnicast() {
+		t.Error("Broadcast.IsUnicast() = true")
+	}
+	if Nobody.IsUnicast() {
+		t.Error("Nobody.IsUnicast() = true")
+	}
+	if !NodeID(3).IsUnicast() {
+		t.Error("n3.IsUnicast() = false")
+	}
+	if !BaseStation.IsUnicast() {
+		t.Error("BaseStation.IsUnicast() = false (base station is a unicast target)")
+	}
+}
+
+func paperSpace() Space {
+	return Space{NumBeacons: 110, NumSensors: 890, DetectingIDs: 8}
+}
+
+func TestSpaceRangesDisjoint(t *testing.T) {
+	s := paperSpace()
+	seen := make(map[NodeID]string)
+	record := func(id NodeID, what string) {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("ID %v allocated twice: %s and %s", id, prev, what)
+		}
+		seen[id] = what
+	}
+	for i := 0; i < s.NumBeacons; i++ {
+		record(s.BeaconID(i), "beacon")
+	}
+	for i := 0; i < s.NumSensors; i++ {
+		record(s.SensorID(i), "sensor")
+	}
+	for i := 0; i < s.NumBeacons; i++ {
+		for j := 0; j < s.DetectingIDs; j++ {
+			record(s.DetectingID(i, j), "detecting")
+		}
+	}
+	if len(seen) != s.Total() {
+		t.Errorf("allocated %d IDs, Total() = %d", len(seen), s.Total())
+	}
+}
+
+func TestDetectingIDsLookLikeNonBeacons(t *testing.T) {
+	s := paperSpace()
+	for i := 0; i < s.NumBeacons; i++ {
+		for j := 0; j < s.DetectingIDs; j++ {
+			id := s.DetectingID(i, j)
+			if s.IsBeaconID(id) {
+				t.Fatalf("detecting ID %v classified as beacon ID", id)
+			}
+		}
+	}
+	for i := 0; i < s.NumSensors; i++ {
+		if s.IsBeaconID(s.SensorID(i)) {
+			t.Fatalf("sensor ID %v classified as beacon ID", s.SensorID(i))
+		}
+	}
+	for i := 0; i < s.NumBeacons; i++ {
+		if !s.IsBeaconID(s.BeaconID(i)) {
+			t.Fatalf("beacon ID %v not classified as beacon ID", s.BeaconID(i))
+		}
+	}
+}
+
+func TestNobodyIsNotBeacon(t *testing.T) {
+	if paperSpace().IsBeaconID(Nobody) {
+		t.Error("Nobody classified as beacon")
+	}
+}
+
+func TestSpaceValid(t *testing.T) {
+	if !paperSpace().Valid() {
+		t.Error("paper-scale space reported invalid")
+	}
+	huge := Space{NumBeacons: 10000, NumSensors: 60000, DetectingIDs: 8}
+	if huge.Valid() {
+		t.Error("space overflowing uint16 reported valid")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := paperSpace()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"beacon -1", func() { s.BeaconID(-1) }},
+		{"beacon max", func() { s.BeaconID(s.NumBeacons) }},
+		{"sensor -1", func() { s.SensorID(-1) }},
+		{"sensor max", func() { s.SensorID(s.NumSensors) }},
+		{"detecting j", func() { s.DetectingID(0, s.DetectingIDs) }},
+		{"detecting i", func() { s.DetectingID(s.NumBeacons, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

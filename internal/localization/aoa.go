@@ -1,0 +1,79 @@
+package localization
+
+import (
+	"fmt"
+	"math"
+
+	"beaconsec/internal/geo"
+)
+
+// This file implements angle-of-arrival (AoA) localization (Niculescu &
+// Nath's APS using AoA, cited by the paper): a node with a directional
+// antenna array measures the bearing toward each beacon and triangulates.
+// The paper's §2.3 notes its detector "can be easily revised to deal with
+// location estimation based on other measurements" — the AoA variant of
+// the consistency check lives in package core; this file provides the
+// estimation substrate.
+
+// BearingReference is one AoA reference: the location a beacon declared
+// and the bearing (radians, from +x axis, in (-π, π]) the node measured
+// toward it.
+type BearingReference struct {
+	Loc     geo.Point
+	Bearing float64
+}
+
+// NormalizeAngle maps an angle to (-π, π].
+func NormalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the absolute smallest difference between two angles.
+func AngleDiff(a, b float64) float64 {
+	return math.Abs(NormalizeAngle(a - b))
+}
+
+// Triangulate estimates a position from bearing references: each bearing
+// constrains the node to the line through the beacon with the measured
+// direction, giving the linear system
+//
+//	sin(θ_i)·(x_i - x) - cos(θ_i)·(y_i - y) = 0
+//
+// solved by least squares. At least two non-parallel bearings are
+// required; three or more average out measurement error.
+func Triangulate(refs []BearingReference) (geo.Point, error) {
+	if len(refs) < 2 {
+		return geo.Point{}, fmt.Errorf("%w: AoA needs >= 2 bearings, have %d", ErrTooFew, len(refs))
+	}
+	// Row i: [sinθ, -cosθ] · p = sinθ·x_i - cosθ·y_i
+	var a11, a12, a22, b1, b2 float64
+	for _, r := range refs {
+		s, c := math.Sin(r.Bearing), math.Cos(r.Bearing)
+		rhs := s*r.Loc.X - c*r.Loc.Y
+		a11 += s * s
+		a12 += s * -c
+		a22 += c * c
+		b1 += s * rhs
+		b2 += -c * rhs
+	}
+	det := a11*a22 - a12*a12
+	scale := a11 + a22
+	if scale == 0 || math.Abs(det) < 1e-9*scale*scale {
+		return geo.Point{}, fmt.Errorf("%w: parallel bearings", ErrDegenerate)
+	}
+	return geo.Point{
+		X: (a22*b1 - a12*b2) / det,
+		Y: (a11*b2 - a12*b1) / det,
+	}, nil
+}
+
+// BearingTo returns the true bearing from p toward q.
+func BearingTo(p, q geo.Point) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}

@@ -1,0 +1,145 @@
+package localization
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"beaconsec/internal/geo"
+	"beaconsec/internal/rng"
+)
+
+func bearingRefs(truth geo.Point, beacons []geo.Point, noise func(i int) float64) []BearingReference {
+	refs := make([]BearingReference, len(beacons))
+	for i, b := range beacons {
+		refs[i] = BearingReference{Loc: b, Bearing: NormalizeAngle(BearingTo(truth, b) + noise(i))}
+	}
+	return refs
+}
+
+func TestTriangulateExactRecovery(t *testing.T) {
+	tests := []struct {
+		name    string
+		truth   geo.Point
+		beacons []geo.Point
+	}{
+		{"two beacons", geo.Point{X: 40, Y: 30}, []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}},
+		{"triangle", geo.Point{X: 50, Y: 30}, triangle()},
+		{"outside hull", geo.Point{X: 200, Y: 150}, triangle()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Triangulate(bearingRefs(tt.truth, tt.beacons, func(int) float64 { return 0 }))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := got.Dist(tt.truth); d > 1e-6 {
+				t.Errorf("estimate %v off truth %v by %v", got, tt.truth, d)
+			}
+		})
+	}
+}
+
+func TestTriangulateExactRecoveryProperty(t *testing.T) {
+	src := rng.New(51)
+	for trial := 0; trial < 500; trial++ {
+		nb := 2 + src.Intn(6)
+		beacons := make([]geo.Point, nb)
+		for i := range beacons {
+			beacons[i] = geo.Point{X: src.Uniform(0, 500), Y: src.Uniform(0, 500)}
+		}
+		truth := geo.Point{X: src.Uniform(0, 500), Y: src.Uniform(0, 500)}
+		got, err := Triangulate(bearingRefs(truth, beacons, func(int) float64 { return 0 }))
+		if errors.Is(err, ErrDegenerate) {
+			continue // parallel bearings; legitimately rejected
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.Dist(truth); d > 1e-3 {
+			t.Fatalf("trial %d: estimate %v off truth %v by %v", trial, got, truth, d)
+		}
+	}
+}
+
+func TestTriangulateNoisyBearings(t *testing.T) {
+	src := rng.New(52)
+	beacons := []geo.Point{{X: 0, Y: 0}, {X: 150, Y: 0}, {X: 0, Y: 150}, {X: 150, Y: 150}}
+	const maxAngle = 0.05 // ~3 degrees
+	worst := 0.0
+	for trial := 0; trial < 200; trial++ {
+		truth := geo.Point{X: src.Uniform(30, 120), Y: src.Uniform(30, 120)}
+		refs := bearingRefs(truth, beacons, func(int) float64 { return src.Uniform(-maxAngle, maxAngle) })
+		got, err := Triangulate(refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst = math.Max(worst, got.Dist(truth))
+	}
+	// Error scale ≈ range × angle error; at ~100 ft baselines and 0.05
+	// rad, a handful of feet.
+	if worst > 20 {
+		t.Errorf("worst AoA estimate error %v ft at ±%v rad", worst, maxAngle)
+	}
+}
+
+func TestTriangulateDegenerate(t *testing.T) {
+	// Two beacons seen along the same bearing: parallel lines.
+	refs := []BearingReference{
+		{Loc: geo.Point{X: 100, Y: 0}, Bearing: 0},
+		{Loc: geo.Point{X: 200, Y: 0}, Bearing: 0},
+	}
+	if _, err := Triangulate(refs); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("parallel bearings: %v, want ErrDegenerate", err)
+	}
+}
+
+func TestTriangulateTooFew(t *testing.T) {
+	refs := []BearingReference{{Loc: geo.Point{X: 1, Y: 1}, Bearing: 0.5}}
+	if _, err := Triangulate(refs); !errors.Is(err, ErrTooFew) {
+		t.Errorf("1 bearing: %v, want ErrTooFew", err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{-math.Pi / 2, -math.Pi / 2},
+		{2 * math.Pi, 0},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiffWrapAround(t *testing.T) {
+	if d := AngleDiff(math.Pi-0.01, -math.Pi+0.01); math.Abs(d-0.02) > 1e-9 {
+		t.Errorf("wrap-around diff = %v, want 0.02", d)
+	}
+	if d := AngleDiff(0.3, 0.1); math.Abs(d-0.2) > 1e-12 {
+		t.Errorf("plain diff = %v", d)
+	}
+}
+
+func TestBearingTo(t *testing.T) {
+	p := geo.Point{X: 0, Y: 0}
+	tests := []struct {
+		q    geo.Point
+		want float64
+	}{
+		{geo.Point{X: 1, Y: 0}, 0},
+		{geo.Point{X: 0, Y: 1}, math.Pi / 2},
+		{geo.Point{X: -1, Y: 0}, math.Pi},
+		{geo.Point{X: 1, Y: 1}, math.Pi / 4},
+	}
+	for _, tt := range tests {
+		if got := BearingTo(p, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("BearingTo(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}

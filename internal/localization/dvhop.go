@@ -1,0 +1,168 @@
+package localization
+
+import (
+	"fmt"
+	"math"
+
+	"beaconsec/internal/geo"
+)
+
+// This file implements DV-hop (Niculescu & Nath's Ad hoc Positioning
+// System, cited by the paper): a range-free localization scheme where
+// nodes count hops to each beacon, beacons estimate an average
+// hop distance from the hop counts between themselves, and nodes
+// multilaterate on hop-count × hop-distance pseudo-ranges. It needs no
+// ranging hardware, at the cost of accuracy — the trade-off that
+// motivates the paper's focus on range-based schemes.
+
+// DVHopConfig parameterizes the scheme.
+type DVHopConfig struct {
+	// Range is the single-hop radio range.
+	Range float64
+	// MaxHops bounds flood propagation; zero means unbounded.
+	MaxHops int
+}
+
+// DVHopResult reports one DV-hop pass.
+type DVHopResult struct {
+	// Estimate / Localized are indexed by node.
+	Estimate  []geo.Point
+	Localized []bool
+	// HopDist is the network-wide average distance per hop the beacons
+	// derived.
+	HopDist float64
+}
+
+// DVHop runs the scheme over true node positions, with isBeacon marking
+// anchor nodes. Connectivity is geometric: nodes within cfg.Range are
+// neighbors. The hop-count flood is simulated exactly (BFS), which is
+// what the protocol converges to.
+func DVHop(truth []geo.Point, isBeacon []bool, cfg DVHopConfig) DVHopResult {
+	n := len(truth)
+	if len(isBeacon) != n {
+		panic(fmt.Sprintf("localization: dvhop length mismatch %d vs %d", n, len(isBeacon)))
+	}
+	if cfg.Range <= 0 {
+		panic(fmt.Sprintf("localization: dvhop range %v must be positive", cfg.Range))
+	}
+	res := DVHopResult{
+		Estimate:  make([]geo.Point, n),
+		Localized: make([]bool, n),
+	}
+
+	// Adjacency by geometry.
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if truth[i].Dist(truth[j]) <= cfg.Range {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+
+	// BFS hop counts from every beacon.
+	var beacons []int
+	for i, b := range isBeacon {
+		if b {
+			beacons = append(beacons, i)
+		}
+	}
+	hops := make([][]int, len(beacons))
+	for bi, b := range beacons {
+		hops[bi] = bfsHops(adj, b, cfg.MaxHops)
+	}
+
+	// Average hop distance: for each beacon pair with a known hop count,
+	// true distance / hops (DV-hop's correction factor, averaged
+	// network-wide).
+	var distSum float64
+	var hopSum int
+	for ai := 0; ai < len(beacons); ai++ {
+		for bi := ai + 1; bi < len(beacons); bi++ {
+			h := hops[ai][beacons[bi]]
+			if h <= 0 {
+				continue
+			}
+			distSum += truth[beacons[ai]].Dist(truth[beacons[bi]])
+			hopSum += h
+		}
+	}
+	if hopSum == 0 {
+		return res // disconnected beacon set: nothing localizes
+	}
+	res.HopDist = distSum / float64(hopSum)
+
+	// Each non-beacon node multilaterates on hop-count pseudo-ranges.
+	for i := 0; i < n; i++ {
+		if isBeacon[i] {
+			res.Estimate[i] = truth[i]
+			res.Localized[i] = true
+			continue
+		}
+		var refs []Reference
+		for bi, b := range beacons {
+			h := hops[bi][i]
+			if h <= 0 {
+				continue
+			}
+			refs = append(refs, Reference{
+				Loc:  truth[b],
+				Dist: float64(h) * res.HopDist,
+			})
+		}
+		if len(refs) < 3 {
+			continue
+		}
+		est, err := Multilaterate(refs)
+		if err != nil {
+			continue
+		}
+		res.Estimate[i] = est
+		res.Localized[i] = true
+	}
+	return res
+}
+
+// MeanError returns the mean estimate error over localized non-beacon
+// nodes; NaN if none localized.
+func (r DVHopResult) MeanError(truth []geo.Point, isBeacon []bool) float64 {
+	var sum float64
+	n := 0
+	for i := range truth {
+		if isBeacon[i] || !r.Localized[i] {
+			continue
+		}
+		sum += r.Estimate[i].Dist(truth[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// bfsHops returns hop counts from src to every node (-1 if unreachable or
+// beyond maxHops; 0 for src itself).
+func bfsHops(adj [][]int, src, maxHops int) []int {
+	hops := make([]int, len(adj))
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if maxHops > 0 && hops[u] >= maxHops {
+			continue
+		}
+		for _, v := range adj[u] {
+			if hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops
+}

@@ -1,0 +1,165 @@
+package localization
+
+import (
+	"math"
+	"testing"
+
+	"beaconsec/internal/geo"
+	"beaconsec/internal/rng"
+)
+
+func dvTopology(seed uint64, n int, beaconFrac float64) ([]geo.Point, []bool) {
+	src := rng.New(seed)
+	truth := make([]geo.Point, n)
+	isBeacon := make([]bool, n)
+	for i := range truth {
+		truth[i] = geo.Point{X: src.Uniform(0, 600), Y: src.Uniform(0, 600)}
+		isBeacon[i] = src.Bool(beaconFrac)
+	}
+	return truth, isBeacon
+}
+
+func TestDVHopLocalizesMostNodes(t *testing.T) {
+	truth, isBeacon := dvTopology(1, 300, 0.1)
+	res := DVHop(truth, isBeacon, DVHopConfig{Range: 120})
+	localized := 0
+	total := 0
+	for i := range truth {
+		if isBeacon[i] {
+			continue
+		}
+		total++
+		if res.Localized[i] {
+			localized++
+		}
+	}
+	if localized < total*8/10 {
+		t.Errorf("DV-hop localized %d/%d non-beacons", localized, total)
+	}
+	if res.HopDist <= 0 || res.HopDist > 120 {
+		t.Errorf("HopDist = %v, want within (0, range]", res.HopDist)
+	}
+}
+
+func TestDVHopAccuracyScale(t *testing.T) {
+	// Range-free accuracy is coarse: mean error should land within a
+	// couple of hop distances, far above ranging-based multilateration
+	// but far below random guessing.
+	truth, isBeacon := dvTopology(2, 300, 0.12)
+	res := DVHop(truth, isBeacon, DVHopConfig{Range: 120})
+	mean := res.MeanError(truth, isBeacon)
+	if math.IsNaN(mean) {
+		t.Fatal("nothing localized")
+	}
+	if mean > 2.5*res.HopDist {
+		t.Errorf("mean error %v vs hop distance %v", mean, res.HopDist)
+	}
+	if mean < 1 {
+		t.Errorf("mean error %v suspiciously exact for a range-free scheme", mean)
+	}
+}
+
+func TestDVHopRangeBasedBeatsIt(t *testing.T) {
+	// The motivation for range-based localization: with the same
+	// beacons, RSSI multilateration (±10 ft error) must beat DV-hop.
+	truth, isBeacon := dvTopology(3, 300, 0.12)
+	dv := DVHop(truth, isBeacon, DVHopConfig{Range: 120})
+	dvErr := dv.MeanError(truth, isBeacon)
+
+	src := rng.New(4)
+	var rbSum float64
+	rbCount := 0
+	for i := range truth {
+		if isBeacon[i] {
+			continue
+		}
+		var refs []Reference
+		for j := range truth {
+			if !isBeacon[j] || truth[i].Dist(truth[j]) > 120 {
+				continue
+			}
+			refs = append(refs, Reference{Loc: truth[j], Dist: truth[i].Dist(truth[j]) + src.Uniform(-10, 10)})
+		}
+		if len(refs) < 3 {
+			continue
+		}
+		est, err := Multilaterate(refs)
+		if err != nil {
+			continue
+		}
+		// Nodes know the field: clamp the rare mirror-ambiguous fix
+		// (few references, one-sided geometry) like deployed nodes do.
+		est = geo.Square(600).Clamp(est)
+		rbSum += est.Dist(truth[i])
+		rbCount++
+	}
+	if rbCount == 0 {
+		t.Skip("no range-based fixes possible this seed")
+	}
+	rbErr := rbSum / float64(rbCount)
+	if rbErr >= dvErr {
+		t.Errorf("range-based (%v ft) not better than DV-hop (%v ft)", rbErr, dvErr)
+	}
+}
+
+func TestDVHopDisconnectedBeacons(t *testing.T) {
+	// Two beacons out of radio contact: no hop-distance estimate, no
+	// localization.
+	truth := []geo.Point{{X: 0, Y: 0}, {X: 500, Y: 500}, {X: 50, Y: 50}}
+	isBeacon := []bool{true, true, false}
+	res := DVHop(truth, isBeacon, DVHopConfig{Range: 100})
+	if res.Localized[2] {
+		t.Error("node localized with disconnected beacon set")
+	}
+	if !math.IsNaN(res.MeanError(truth, isBeacon)) {
+		t.Error("MeanError not NaN with nothing localized")
+	}
+}
+
+func TestDVHopMaxHopsBoundsFlood(t *testing.T) {
+	// A line of nodes: with MaxHops 1 only direct neighbors hear the
+	// beacons, so the far node cannot collect 3 references.
+	truth := []geo.Point{
+		{X: 0, Y: 0}, {X: 90, Y: 0}, {X: 180, Y: 0}, {X: 270, Y: 0},
+		{X: 0, Y: 90}, {X: 90, Y: 90},
+	}
+	isBeacon := []bool{true, true, false, false, true, false}
+	bounded := DVHop(truth, isBeacon, DVHopConfig{Range: 100, MaxHops: 1})
+	if bounded.Localized[3] {
+		t.Error("far node localized despite MaxHops=1")
+	}
+}
+
+func TestDVHopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero range")
+		}
+	}()
+	DVHop([]geo.Point{{}}, []bool{false}, DVHopConfig{})
+}
+
+func TestBFSHops(t *testing.T) {
+	// 0-1-2 path plus isolated 3.
+	adj := [][]int{{1}, {0, 2}, {1}, nil}
+	hops := bfsHops(adj, 0, 0)
+	want := []int{0, 1, 2, -1}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Errorf("hops[%d] = %d, want %d", i, hops[i], want[i])
+		}
+	}
+	capped := bfsHops(adj, 0, 1)
+	if capped[2] != -1 {
+		t.Errorf("maxHops=1 reached node 2: %d", capped[2])
+	}
+}
+
+func BenchmarkDVHop(b *testing.B) {
+	truth, isBeacon := dvTopology(5, 300, 0.1)
+	cfg := DVHopConfig{Range: 120}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DVHop(truth, isBeacon, cfg)
+	}
+}

@@ -1,0 +1,275 @@
+// Package packet defines the over-the-air message formats and their binary
+// codec. Every packet is authenticated with a truncated HMAC tag under the
+// pairwise key of the two communicating identities (paper §2: "every
+// beacon packet is authenticated ... with the pairwise key shared between
+// two communicating nodes"), so externally forged packets are rejected at
+// decode time.
+//
+// Wire format (big endian):
+//
+//	byte 0      Type
+//	bytes 1-2   Src NodeID
+//	bytes 3-4   Dst NodeID
+//	bytes 5-6   Seq
+//	byte 7      payload length
+//	...         payload (type-specific)
+//	last 8      HMAC-SHA256 tag, truncated
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"beaconsec/internal/crypto"
+	"beaconsec/internal/geo"
+	"beaconsec/internal/ident"
+)
+
+// Type enumerates packet types. Values start at 1 so the zero value is
+// invalid.
+type Type uint8
+
+// Packet types.
+const (
+	// TypeHello is a beacon node's presence announcement used for
+	// neighbor discovery. Broadcast, unauthenticated payload (discovery
+	// only; all location-bearing traffic is unicast and authenticated).
+	TypeHello Type = iota + 1
+	// TypeBeaconRequest asks a beacon node for a beacon signal.
+	TypeBeaconRequest
+	// TypeBeaconReply is the beacon signal: the beacon's declared
+	// location plus the receiver-side turnaround time t3-t2 used by the
+	// requester's RTT computation.
+	TypeBeaconReply
+	// TypeAlert reports a suspected malicious beacon node to the base
+	// station.
+	TypeAlert
+	// TypeRevoke announces a revoked beacon node from the base station.
+	TypeRevoke
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeBeaconRequest:
+		return "request"
+	case TypeBeaconReply:
+		return "reply"
+	case TypeAlert:
+		return "alert"
+	case TypeRevoke:
+		return "revoke"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Header is common to all packets.
+type Header struct {
+	Type Type
+	Src  ident.NodeID
+	Dst  ident.NodeID
+	Seq  uint16
+}
+
+// Hello is the payload of TypeHello.
+type Hello struct{}
+
+// BeaconRequest is the payload of TypeBeaconRequest.
+type BeaconRequest struct{}
+
+// BeaconReply is the payload of TypeBeaconReply: the beacon packet.
+type BeaconReply struct {
+	// Loc is the location the beacon node declares for itself. A
+	// compromised beacon may declare anything.
+	Loc geo.Point
+	// Turnaround is the receiver-side t3 - t2 in CPU cycles, reported so
+	// the requester can compute RTT = (t4 - t1) - Turnaround (paper
+	// Figure 3).
+	Turnaround uint32
+	// Echo is the Seq of the request being answered, binding the reply
+	// to a specific outstanding request.
+	Echo uint16
+}
+
+// Alert is the payload of TypeAlert: "every alert from a detecting node
+// includes the ID of the detecting node and the ID of the target node".
+// The detecting node is the authenticated Src of the packet; Target is the
+// accused beacon node.
+type Alert struct {
+	Target ident.NodeID
+}
+
+// Revoke is the payload of TypeRevoke.
+type Revoke struct {
+	Target ident.NodeID
+}
+
+// Packet is a decoded packet.
+type Packet struct {
+	Header  Header
+	Payload any // one of Hello, BeaconRequest, BeaconReply, Alert, Revoke
+}
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadType     = errors.New("packet: unknown type")
+	ErrBadLength   = errors.New("packet: payload length mismatch")
+	ErrBadTag      = errors.New("packet: authentication failed")
+	ErrUnencodable = errors.New("packet: payload type not encodable")
+)
+
+const (
+	headerSize = 8
+	// MaxSize bounds encoded packets, mote-style.
+	MaxSize = 64
+)
+
+func payloadSize(p any) (int, error) {
+	switch p.(type) {
+	case Hello, BeaconRequest:
+		return 0, nil
+	case BeaconReply:
+		return 8 + 8 + 4 + 2, nil
+	case Alert, Revoke:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnencodable, p)
+	}
+}
+
+func typeOf(p any) (Type, error) {
+	switch p.(type) {
+	case Hello:
+		return TypeHello, nil
+	case BeaconRequest:
+		return TypeBeaconRequest, nil
+	case BeaconReply:
+		return TypeBeaconReply, nil
+	case Alert:
+		return TypeAlert, nil
+	case Revoke:
+		return TypeRevoke, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnencodable, p)
+	}
+}
+
+// Encode serializes a packet and appends its authentication tag under key.
+func Encode(src, dst ident.NodeID, seq uint16, payload any, key crypto.Key) ([]byte, error) {
+	typ, err := typeOf(payload)
+	if err != nil {
+		return nil, err
+	}
+	n, err := payloadSize(payload)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, headerSize+n+crypto.TagSize)
+	buf = append(buf, byte(typ))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(src))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint16(buf, seq)
+	buf = append(buf, byte(n))
+
+	switch p := payload.(type) {
+	case Hello, BeaconRequest:
+		// empty payload
+	case BeaconReply:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Loc.X))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Loc.Y))
+		buf = binary.BigEndian.AppendUint32(buf, p.Turnaround)
+		buf = binary.BigEndian.AppendUint16(buf, p.Echo)
+	case Alert:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+	case Revoke:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+	}
+
+	tag := crypto.Sign(key, buf)
+	buf = append(buf, tag[:]...)
+	return buf, nil
+}
+
+// PeekHeader decodes only the header, without authenticating. Radios use
+// it to decide whether a frame is addressed to them before spending a MAC
+// verification.
+func PeekHeader(data []byte) (Header, error) {
+	if len(data) < headerSize {
+		return Header{}, ErrTruncated
+	}
+	h := Header{
+		Type: Type(data[0]),
+		Src:  ident.NodeID(binary.BigEndian.Uint16(data[1:3])),
+		Dst:  ident.NodeID(binary.BigEndian.Uint16(data[3:5])),
+		Seq:  binary.BigEndian.Uint16(data[5:7]),
+	}
+	if h.Type < TypeHello || h.Type > TypeRevoke {
+		return Header{}, fmt.Errorf("%w: %d", ErrBadType, data[0])
+	}
+	return h, nil
+}
+
+// Decode parses and authenticates a packet under key.
+func Decode(data []byte, key crypto.Key) (Packet, error) {
+	h, err := PeekHeader(data)
+	if err != nil {
+		return Packet{}, err
+	}
+	if len(data) < headerSize+crypto.TagSize {
+		return Packet{}, ErrTruncated
+	}
+	body := data[:len(data)-crypto.TagSize]
+	var tag crypto.Tag
+	copy(tag[:], data[len(data)-crypto.TagSize:])
+	if !crypto.Verify(key, body, tag) {
+		return Packet{}, ErrBadTag
+	}
+	n := int(data[7])
+	payload := body[headerSize:]
+	if len(payload) != n {
+		return Packet{}, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, n, len(payload))
+	}
+
+	pkt := Packet{Header: h}
+	switch h.Type {
+	case TypeHello:
+		if n != 0 {
+			return Packet{}, fmt.Errorf("%w: hello with payload", ErrBadLength)
+		}
+		pkt.Payload = Hello{}
+	case TypeBeaconRequest:
+		if n != 0 {
+			return Packet{}, fmt.Errorf("%w: request with payload", ErrBadLength)
+		}
+		pkt.Payload = BeaconRequest{}
+	case TypeBeaconReply:
+		if n != 22 {
+			return Packet{}, fmt.Errorf("%w: reply payload %d", ErrBadLength, n)
+		}
+		pkt.Payload = BeaconReply{
+			Loc: geo.Point{
+				X: math.Float64frombits(binary.BigEndian.Uint64(payload[0:8])),
+				Y: math.Float64frombits(binary.BigEndian.Uint64(payload[8:16])),
+			},
+			Turnaround: binary.BigEndian.Uint32(payload[16:20]),
+			Echo:       binary.BigEndian.Uint16(payload[20:22]),
+		}
+	case TypeAlert:
+		if n != 2 {
+			return Packet{}, fmt.Errorf("%w: alert payload %d", ErrBadLength, n)
+		}
+		pkt.Payload = Alert{Target: ident.NodeID(binary.BigEndian.Uint16(payload))}
+	case TypeRevoke:
+		if n != 2 {
+			return Packet{}, fmt.Errorf("%w: revoke payload %d", ErrBadLength, n)
+		}
+		pkt.Payload = Revoke{Target: ident.NodeID(binary.BigEndian.Uint16(payload))}
+	}
+	return pkt, nil
+}

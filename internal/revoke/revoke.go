@@ -1,0 +1,208 @@
+// Package revoke implements the paper's §3 revocation scheme: the base
+// station accumulates alerts from detecting beacon nodes, bounds how many
+// alerts any single node may have accepted (the report counter, capped by
+// τ), measures each beacon node's suspiciousness (the alert counter), and
+// revokes nodes whose alert counter exceeds τ′.
+//
+// The report cap is the defense against colluding malicious beacons: a
+// group of N_a colluders can have at most N_a·(τ+1) alerts accepted, so
+// they can force at most N_a·(τ+1)/(τ′+1) benign revocations — the bound
+// the paper's false-positive analysis (and Figure 14) is built on.
+package revoke
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"beaconsec/internal/ident"
+)
+
+// Config holds the two thresholds.
+type Config struct {
+	// ReportCap is τ: an alert is accepted only while its reporter's
+	// report counter has not exceeded τ (so each reporter contributes at
+	// most τ+1 accepted alerts).
+	ReportCap int
+	// AlertThreshold is τ′: a node is revoked when its alert counter
+	// exceeds τ′ (i.e. at the (τ′+1)-th accepted alert).
+	AlertThreshold int
+}
+
+// Validate returns an error for unusable thresholds.
+func (c Config) Validate() error {
+	if c.ReportCap < 0 {
+		return fmt.Errorf("revoke: ReportCap %d must be >= 0", c.ReportCap)
+	}
+	if c.AlertThreshold < 0 {
+		return fmt.Errorf("revoke: AlertThreshold %d must be >= 0", c.AlertThreshold)
+	}
+	return nil
+}
+
+// Outcome describes how the base station handled one alert. Values start
+// at one so the zero value is invalid.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeAccepted: counters incremented, target not (yet) revoked.
+	OutcomeAccepted Outcome = iota + 1
+	// OutcomeRevoked: accepted, and the target crossed τ′ and was
+	// revoked.
+	OutcomeRevoked
+	// OutcomeReporterCapped: ignored, the reporter exhausted its τ
+	// budget.
+	OutcomeReporterCapped
+	// OutcomeAlreadyRevoked: ignored, the target is already revoked.
+	OutcomeAlreadyRevoked
+	// OutcomeSelfReport: ignored, a node accused itself.
+	OutcomeSelfReport
+	// OutcomeDuplicate: ignored, this (reporter, target) pair was
+	// already accepted — alerts are idempotent, so uplink
+	// retransmission cannot inflate counters and a single malicious
+	// reporter cannot multiply its alerts against one victim.
+	OutcomeDuplicate
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeRevoked:
+		return "revoked"
+	case OutcomeReporterCapped:
+		return "reporter-capped"
+	case OutcomeAlreadyRevoked:
+		return "already-revoked"
+	case OutcomeSelfReport:
+		return "self-report"
+	case OutcomeDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// BaseStation runs the revocation algorithm. It is safe for concurrent
+// use; within the single-threaded simulation the lock is uncontended.
+type BaseStation struct {
+	mu       sync.Mutex
+	cfg      Config
+	reports  map[ident.NodeID]int
+	alerts   map[ident.NodeID]int
+	revoked  map[ident.NodeID]bool
+	seen     map[pair]bool
+	onRevoke []func(ident.NodeID)
+	handled  uint64
+}
+
+type pair struct {
+	reporter, target ident.NodeID
+}
+
+// NewBaseStation constructs a base station; it panics on an invalid
+// configuration (thresholds are deployment constants, never runtime
+// input).
+func NewBaseStation(cfg Config) *BaseStation {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &BaseStation{
+		cfg:     cfg,
+		reports: make(map[ident.NodeID]int),
+		alerts:  make(map[ident.NodeID]int),
+		revoked: make(map[ident.NodeID]bool),
+		seen:    make(map[pair]bool),
+	}
+}
+
+// OnRevoke registers a callback invoked (synchronously, in HandleAlert)
+// whenever a node is revoked — the hook the scenario layer uses to
+// distribute revocation messages.
+func (bs *BaseStation) OnRevoke(fn func(ident.NodeID)) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.onRevoke = append(bs.onRevoke, fn)
+}
+
+// HandleAlert processes one authenticated alert (reporter accuses target)
+// per the paper's algorithm and returns what happened.
+func (bs *BaseStation) HandleAlert(reporter, target ident.NodeID) Outcome {
+	bs.mu.Lock()
+	bs.handled++
+	if reporter == target {
+		bs.mu.Unlock()
+		return OutcomeSelfReport
+	}
+	// "the alert from a revoked detecting node will still be accepted"
+	// — revocation of the reporter is deliberately not checked.
+	if bs.revoked[target] {
+		bs.mu.Unlock()
+		return OutcomeAlreadyRevoked
+	}
+	if bs.seen[pair{reporter, target}] {
+		bs.mu.Unlock()
+		return OutcomeDuplicate
+	}
+	if bs.reports[reporter] > bs.cfg.ReportCap {
+		bs.mu.Unlock()
+		return OutcomeReporterCapped
+	}
+	bs.seen[pair{reporter, target}] = true
+	bs.reports[reporter]++
+	bs.alerts[target]++
+	if bs.alerts[target] <= bs.cfg.AlertThreshold {
+		bs.mu.Unlock()
+		return OutcomeAccepted
+	}
+	bs.revoked[target] = true
+	callbacks := make([]func(ident.NodeID), len(bs.onRevoke))
+	copy(callbacks, bs.onRevoke)
+	bs.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(target)
+	}
+	return OutcomeRevoked
+}
+
+// Revoked reports whether id has been revoked.
+func (bs *BaseStation) Revoked(id ident.NodeID) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.revoked[id]
+}
+
+// RevokedSet returns the sorted list of revoked node IDs.
+func (bs *BaseStation) RevokedSet() []ident.NodeID {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make([]ident.NodeID, 0, len(bs.revoked))
+	for id := range bs.revoked {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AlertCount returns the current alert counter of id.
+func (bs *BaseStation) AlertCount(id ident.NodeID) int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.alerts[id]
+}
+
+// ReportCount returns the current report counter of id.
+func (bs *BaseStation) ReportCount(id ident.NodeID) int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.reports[id]
+}
+
+// Handled returns the total number of alerts processed (any outcome).
+func (bs *BaseStation) Handled() uint64 {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.handled
+}

@@ -1,0 +1,197 @@
+// Package sim is a deterministic discrete-event simulation kernel with a
+// cycle-resolution virtual clock.
+//
+// It replaces the TinyOS Nido simulator the paper used: every protocol
+// action in this repository — radio byte shifts, MAC backoffs, timer
+// expirations, base-station processing — is an event on one Scheduler.
+// Time is measured in CPU clock cycles of a 7.3728 MHz MICA2-class mote,
+// because the paper's round-trip-time detector (Figure 4) is calibrated in
+// CPU cycles.
+//
+// Determinism: events at equal times fire in scheduling order (FIFO),
+// which combined with the seeded rng package makes every run reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time, in CPU clock cycles.
+type Time uint64
+
+// CPUHz is the simulated mote CPU frequency (MICA2 ATmega128L).
+const CPUHz = 7_372_800
+
+// Duration helpers.
+
+// Millis converts milliseconds of wall time to cycles.
+func Millis(ms float64) Time { return Time(ms * CPUHz / 1e3) }
+
+// Micros converts microseconds of wall time to cycles.
+func Micros(us float64) Time { return Time(us * CPUHz / 1e6) }
+
+// Seconds converts seconds of wall time to cycles.
+func Seconds(s float64) Time { return Time(s * CPUHz) }
+
+// Float returns t as a float64 cycle count.
+func (t Time) Float() float64 { return float64(t) }
+
+// Seconds returns t in seconds of simulated wall time.
+func (t Time) Seconds() float64 { return float64(t) / CPUHz }
+
+// String implements fmt.Stringer with both cycles and milliseconds.
+func (t Time) String() string {
+	return fmt.Sprintf("%dcy (%.3fms)", uint64(t), float64(t)/CPUHz*1e3)
+}
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly
+// before the event queue drained.
+var ErrStopped = errors.New("sim: scheduler stopped")
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+	// index in the heap, maintained by the heap interface; -1 once popped
+	// or cancelled.
+	index int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the queue if it has not fired yet and
+// reports whether it was cancelled.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.index < 0 || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil
+	return true
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the event queue. The zero value is
+// ready to use. Scheduler is not safe for concurrent use: the simulation
+// is single-threaded by design (determinism), and experiments parallelize
+// across independent Scheduler instances instead.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Scheduler starting at time zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far, a cheap progress and
+// test metric.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (at < Now) panics: it is always a protocol bug.
+func (s *Scheduler) At(at Time, fn func()) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay cycles from now.
+func (s *Scheduler) After(delay Time, fn func()) Handle {
+	return s.At(s.now+delay, fn)
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped if stopped early, nil if drained.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock
+// to deadline. Events scheduled beyond deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }

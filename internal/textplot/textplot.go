@@ -1,0 +1,194 @@
+// Package textplot renders experiment series as ASCII line plots,
+// scatter plots, and CSV — the terminal-native equivalent of the paper's
+// figures, used by cmd/figures and the benchmark harness.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+	// Scatter suppresses the connecting segments: points are drawn
+	// individually (deployment maps, ROC point clouds).
+	Scatter bool
+}
+
+// Plot is a set of curves over shared axes.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the plot as ASCII art, width x height characters of plot
+// area (axes and legend added around it).
+func (p *Plot) Render(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax, ymin, ymax := p.bounds()
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		if xmax == xmin {
+			return 0
+		}
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		if ymax == ymin {
+			return height - 1
+		}
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+
+	for si, s := range p.Series {
+		g := glyphs[si%len(glyphs)]
+		if !s.Scatter {
+			// Connect consecutive points with interpolated marks so
+			// curves read as lines.
+			for i := 1; i < len(s.X) && i < len(s.Y); i++ {
+				drawSegment(grid, col(s.X[i-1]), row(s.Y[i-1]), col(s.X[i]), row(s.Y[i]), g)
+			}
+		}
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			grid[row(s.Y[i])][col(s.X[i])] = g
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yl, yr := fmtAxis(ymax), fmtAxis(ymin)
+	pad := len(yl)
+	if len(yr) > pad {
+		pad = len(yr)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yl)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yr)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmtAxis(xmax)), fmtAxis(xmin), fmtAxis(xmax))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String()
+}
+
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, s := range p.Series {
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		return 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int, g byte) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 0; s <= steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = g
+		}
+	}
+}
+
+// CSV emits the plot in long format: series,x,y — robust to series with
+// different x grids.
+func (p *Plot) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range p.Series {
+		for i := 0; i < len(s.X) && i < len(s.Y); i++ {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000 || av < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:  "Detection rate",
+		XLabel: "P",
+		YLabel: "P_r",
+		Series: []Series{
+			{Label: "m=1", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.5, 1}},
+			{Label: "m=8", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.99, 1}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	out := samplePlot().Render(40, 10)
+	if !strings.Contains(out, "Detection rate") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "m=1") || !strings.Contains(out, "m=8") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "x: P   y: P_r") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 plot rows + axis + labels + legend lines.
+	if len(lines) < 14 {
+		t.Errorf("render has %d lines", len(lines))
+	}
+}
+
+func TestRenderEmptyPlot(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.Render(20, 5)
+	if out == "" {
+		t.Error("empty plot rendered nothing")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: "pt", X: []float64{5}, Y: []float64{7}}}}
+	out := p.Render(20, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: "c", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}}}}
+	out := p.Render(20, 5)
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("constant series under-drawn:\n%s", out)
+	}
+}
+
+func TestRenderTinyDimensionsClamped(t *testing.T) {
+	out := samplePlot().Render(1, 1)
+	if out == "" {
+		t.Error("tiny render empty")
+	}
+}
+
+func TestCSVLongFormat(t *testing.T) {
+	got := samplePlot().CSV()
+	want := "series,x,y\nm=1,0,0\nm=1,0.5,0.5\nm=1,1,1\nm=8,0,0\nm=8,0.5,0.99\nm=8,1,1\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: `a,"b"`, X: []float64{1}, Y: []float64{2}}}}
+	got := p.CSV()
+	if !strings.Contains(got, `"a,""b""",1,2`) {
+		t.Errorf("CSV escaping wrong: %q", got)
+	}
+}
+
+func TestMismatchedXYLengths(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: "bad", X: []float64{1, 2, 3}, Y: []float64{1}}}}
+	if got := p.CSV(); strings.Count(got, "\n") != 2 {
+		t.Errorf("mismatched series CSV: %q", got)
+	}
+	// Render must not panic either.
+	_ = p.Render(20, 5)
+}
+
+func TestFmtAxis(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.50"},
+		{150, "150"},
+		{123456, "1.2e+05"},
+	}
+	for _, tt := range tests {
+		if got := fmtAxis(tt.v); got != tt.want {
+			t.Errorf("fmtAxis(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

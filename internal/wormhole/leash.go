@@ -1,0 +1,56 @@
+package wormhole
+
+import (
+	"fmt"
+
+	"beaconsec/internal/sim"
+)
+
+// TemporalLeash implements Hu–Perrig–Johnson temporal packet leashes, the
+// other wormhole defense the paper cites ([13]): the sender embeds an
+// authenticated timestamp; the receiver bounds the packet's flight time
+// by the radio range over the speed of light plus the network's worst
+// clock synchronization error. A wormhole that adds more delay than the
+// leash slack is detected.
+//
+// It requires packets to carry authenticated send timestamps and the
+// network to maintain time synchronization within SyncError — the costs
+// the paper's §2.2.2 notes ("requires a secure and tight time
+// synchronization, and large memory space to store authentication keys")
+// as motivation for the cheaper RTT detector. It is provided as a
+// standalone verifier; the scenario engine uses the Probabilistic
+// detector whose rate p_d abstracts over implementations like this one.
+type TemporalLeash struct {
+	// SyncError is the worst-case clock offset between any two nodes,
+	// in cycles.
+	SyncError float64
+	// Slack absorbs processing variation, in cycles.
+	Slack float64
+}
+
+// speedOfLightCyclesPerFt converts distance to light flight time at the
+// simulated CPU frequency.
+const speedOfLightCyclesPerFt = float64(sim.CPUHz) / 983_571_056.0
+
+// MaxFlight returns the largest legitimate apparent flight time for a
+// single hop of up to rangeFt.
+func (l TemporalLeash) MaxFlight(rangeFt float64) float64 {
+	if rangeFt < 0 {
+		panic(fmt.Sprintf("wormhole: negative range %v", rangeFt))
+	}
+	return rangeFt*speedOfLightCyclesPerFt + 2*l.SyncError + l.Slack
+}
+
+// Check verifies one packet: sentAt is the sender's authenticated local
+// timestamp, receivedAt the receiver's local arrival time, rangeFt the
+// radio range. It reports true when the apparent flight time exceeds the
+// leash — i.e. the packet traversed a wormhole (or the clocks are worse
+// than SyncError, the scheme's known false-positive source).
+func (l TemporalLeash) Check(sentAt, receivedAt sim.Time, rangeFt float64) bool {
+	if receivedAt < sentAt {
+		// Apparent negative flight: possible under clock skew up to
+		// SyncError; beyond that it is as anomalous as a late packet.
+		return float64(sentAt-receivedAt) > 2*l.SyncError+l.Slack
+	}
+	return float64(receivedAt-sentAt) > l.MaxFlight(rangeFt)
+}

@@ -1,0 +1,79 @@
+package wormhole
+
+import (
+	"testing"
+
+	"beaconsec/internal/phy"
+	"beaconsec/internal/rng"
+	"beaconsec/internal/sim"
+)
+
+func TestTemporalLeashSingleHopPasses(t *testing.T) {
+	l := TemporalLeash{SyncError: 100, Slack: 10}
+	src := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		// A legitimate single hop: flight ≈ 0-2 cycles, clocks off by
+		// up to ±SyncError.
+		skew := src.Uniform(-100, 100)
+		sent := sim.Time(1_000_000 + i*1000)
+		received := sim.Time(float64(sent) + src.Uniform(0, 2) + skew + 100) // +100 keeps Time unsigned-safe
+		// Normalize: pass the receiver's reading minus the constant.
+		if l.Check(sent+100, received, 150) {
+			t.Fatalf("trial %d: legitimate packet flagged (skew %v)", i, skew)
+		}
+	}
+}
+
+func TestTemporalLeashCatchesSlowWormhole(t *testing.T) {
+	l := TemporalLeash{SyncError: 100, Slack: 10}
+	// A store-and-forward wormhole adds at least one frame time.
+	sent := sim.Time(1_000_000)
+	received := sent + phy.FrameAirTime(16)
+	if !l.Check(sent, received, 150) {
+		t.Error("frame-time delay not caught by temporal leash")
+	}
+}
+
+func TestTemporalLeashMissesAnalogWormhole(t *testing.T) {
+	// The known blind spot: an analog relay adding less than the slack
+	// evades the leash — the reason the paper's analysis keeps p_d < 1.
+	l := TemporalLeash{SyncError: 100, Slack: 10}
+	sent := sim.Time(1_000_000)
+	received := sent + 50 // under 2*SyncError + Slack
+	if l.Check(sent, received, 150) {
+		t.Error("analog wormhole within slack was flagged; leash tighter than its own sync budget")
+	}
+}
+
+func TestTemporalLeashNegativeFlight(t *testing.T) {
+	l := TemporalLeash{SyncError: 100, Slack: 10}
+	sent := sim.Time(1_000_000)
+	if l.Check(sent, sent-150, 150) {
+		t.Error("negative flight within clock-skew budget flagged")
+	}
+	if !l.Check(sent, sent-500, 150) {
+		t.Error("impossibly negative flight not flagged")
+	}
+}
+
+func TestTemporalLeashBoundaryExact(t *testing.T) {
+	l := TemporalLeash{SyncError: 0, Slack: 0}
+	maxFlight := l.MaxFlight(150)
+	sent := sim.Time(1_000_000)
+	atBound := sent + sim.Time(maxFlight)
+	if l.Check(sent, atBound, 150) {
+		t.Error("flight exactly at bound flagged")
+	}
+	if !l.Check(sent, atBound+5, 150) {
+		t.Error("flight past bound not flagged")
+	}
+}
+
+func TestTemporalLeashNegativeRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for negative range")
+		}
+	}()
+	TemporalLeash{}.MaxFlight(-1)
+}
