@@ -27,6 +27,9 @@
 package beaconsec
 
 import (
+	"errors"
+	"fmt"
+
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/core"
 	"beaconsec/internal/crypto"
@@ -295,13 +298,19 @@ func Figures() []string {
 	return ids
 }
 
+// ErrUnknownFigure reports a RunFigure ID that matches no runner.
+var ErrUnknownFigure = errors.New("beaconsec: unknown figure ID")
+
 // RunFigure regenerates one figure by ID ("fig04" ... "fig14",
-// "extra-localization", "extra-ablation"). The second return is false for
-// unknown IDs.
-func RunFigure(id string, o ExperimentOptions) (ExperimentResult, bool) {
+// "extra-localization", "extra-ablation"). Unknown IDs return an error
+// wrapping ErrUnknownFigure; simulation failures are returned as-is.
+// Simulation-backed figures run their trials on a worker pool sized by
+// ExperimentOptions.Workers (0 = all CPUs) with results identical for
+// any worker count.
+func RunFigure(id string, o ExperimentOptions) (ExperimentResult, error) {
 	r, ok := experiment.ByID(id)
 	if !ok {
-		return ExperimentResult{}, false
+		return ExperimentResult{}, fmt.Errorf("%w: %q", ErrUnknownFigure, id)
 	}
-	return r.Run(o), true
+	return r.Run(o)
 }

@@ -1,6 +1,7 @@
 package beaconsec_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -113,15 +114,15 @@ func TestFacadeFigures(t *testing.T) {
 	if len(ids) != 17 {
 		t.Fatalf("Figures() = %v", ids)
 	}
-	r, ok := beaconsec.RunFigure("fig05", beaconsec.ExperimentOptions{Quick: true, Seed: 1})
-	if !ok {
-		t.Fatal("fig05 unknown")
+	r, err := beaconsec.RunFigure("fig05", beaconsec.ExperimentOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
 	}
 	if len(r.Series) == 0 {
 		t.Error("fig05 empty")
 	}
-	if _, ok := beaconsec.RunFigure("bogus", beaconsec.ExperimentOptions{}); ok {
-		t.Error("bogus figure found")
+	if _, err := beaconsec.RunFigure("bogus", beaconsec.ExperimentOptions{}); !errors.Is(err, beaconsec.ErrUnknownFigure) {
+		t.Errorf("bogus figure: err = %v, want ErrUnknownFigure", err)
 	}
 }
 

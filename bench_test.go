@@ -15,15 +15,39 @@ import (
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, ok := beaconsec.RunFigure(id, beaconsec.ExperimentOptions{Quick: true, Seed: uint64(i + 1)})
-		if !ok {
-			b.Fatalf("unknown figure %s", id)
+		res, err := beaconsec.RunFigure(id, beaconsec.ExperimentOptions{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
 		}
 		if len(res.Series) == 0 {
 			b.Fatalf("%s produced no series", id)
 		}
 	}
 }
+
+// benchSweepWorkers regenerates the Quick fig12 sweep — the repo's
+// canonical simulation-backed Monte Carlo workload — at a fixed worker
+// count, to measure what the trial harness's parallelism buys.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := beaconsec.RunFigure("fig12",
+			beaconsec.ExperimentOptions{Quick: true, Seed: uint64(i + 1), Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("fig12 produced no series")
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the fig12 sweep on a single harness worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel runs the same sweep with one worker per
+// available CPU; the output is byte-identical to the serial run.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
 
 // BenchmarkFig04RTTCDF regenerates Figure 4: the empirical no-attack RTT
 // distribution on the simulated MICA2 radio stack.

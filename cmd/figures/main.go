@@ -1,10 +1,16 @@
 // Command figures regenerates the paper's evaluation figures (4–14) and
-// the two extension experiments, printing ASCII plots and optionally
-// writing CSV + text renderings to an output directory.
+// the extension experiments, printing ASCII plots and optionally writing
+// CSV + text renderings to an output directory.
+//
+// Simulation-backed figures run their trials on the shared harness's
+// worker pool, and independent figures run concurrently; -workers bounds
+// both. Output is deterministic for any worker count: plots print in
+// figure order and every trial seed derives from -seed alone.
 //
 // Usage:
 //
 //	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
+//	        [-workers N] [-progress]
 package main
 
 import (
@@ -13,7 +19,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"beaconsec/internal/experiment"
 )
@@ -33,6 +42,8 @@ func run(args []string, out io.Writer) error {
 	outDir := fs.String("out", "", "directory for CSV and text output (optional)")
 	width := fs.Int("width", 72, "plot width in characters")
 	height := fs.Int("height", 20, "plot height in characters")
+	workers := fs.Int("workers", 0, "trial and figure concurrency (0 = all CPUs)")
+	progress := fs.Bool("progress", true, "print per-figure trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,9 +66,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := experiment.Options{Quick: *quick, Seed: *seed}
-	for _, r := range runners {
-		res := r.Run(opts)
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	results, err := runAll(runners, opts, *progress)
+	if err != nil {
+		return err
+	}
+
+	for i := range runners {
+		res := results[i]
 		plot := res.Plot()
 		rendered := plot.Render(*width, *height)
 		fmt.Fprintln(out, rendered)
@@ -76,6 +92,48 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runAll executes the runners on a bounded pool (figure-level
+// concurrency on top of each figure's own trial parallelism) and returns
+// their results in input order. The first failure is returned after all
+// in-flight figures finish.
+func runAll(runners []experiment.Runner, opts experiment.Options, progress bool) ([]experiment.Result, error) {
+	figWorkers := opts.Workers
+	if figWorkers <= 0 {
+		figWorkers = runtime.GOMAXPROCS(0)
+	}
+	if figWorkers > len(runners) {
+		figWorkers = len(runners)
+	}
+
+	results := make([]experiment.Result, len(runners))
+	errs := make([]error, len(runners))
+	sem := make(chan struct{}, figWorkers)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r experiment.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			if progress {
+				o.Progress = func(done, total int, elapsed time.Duration) {
+					fmt.Fprintf(os.Stderr, "figures: %s %d/%d trials (%.1fs)\n",
+						r.ID, done, total, elapsed.Seconds())
+				}
+			}
+			results[i], errs[i] = r.Run(o)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", runners[i].ID, err)
+		}
+	}
+	return results, nil
 }
 
 func knownIDs() string {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"beaconsec/internal/geo"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/phy"
 	"beaconsec/internal/rng"
 	"beaconsec/internal/sim"
@@ -24,23 +26,78 @@ type Calibration struct {
 	samples []float64 // sorted ascending
 }
 
-// CalibrateRTT measures trials request/reply exchanges on a dedicated
-// two-node network with the given jitter model and returns the empirical
-// distribution. The paper performs 10,000 trials on MICA2 motes; this is
-// the simulated equivalent.
+// calBatchSize is the number of exchanges each independent calibration
+// network measures. The batch structure depends only on the trial count,
+// never on the worker count, so CalibrateRTT is deterministic for any
+// parallelism.
+const calBatchSize = 500
+
+// CalibrateRTT measures trials request/reply exchanges with the given
+// jitter model and returns the empirical distribution. The paper
+// performs 10,000 trials on MICA2 motes; this is the simulated
+// equivalent. It panics on a non-positive trial count; use
+// CalibrateRTTWorkers for an error return and an explicit worker bound.
 func CalibrateRTT(trials int, jitter phy.Jitter, seed uint64) Calibration {
-	if trials <= 0 {
-		panic(fmt.Sprintf("core: non-positive calibration trials %d", trials))
+	cal, err := CalibrateRTTWorkers(trials, jitter, seed, 0)
+	if err != nil {
+		panic("core: " + err.Error())
 	}
+	return cal
+}
+
+// CalibrateRTTWorkers is CalibrateRTT on a bounded worker pool: the
+// exchanges are measured in fixed-size batches, each on its own
+// dedicated two-node network seeded from the batch index, and the
+// batches run concurrently on the trial harness. The merged distribution
+// is identical for any worker count (0 means one worker per CPU).
+func CalibrateRTTWorkers(trials int, jitter phy.Jitter, seed uint64, workers int) (Calibration, error) {
+	if trials <= 0 {
+		return Calibration{}, fmt.Errorf("core: non-positive calibration trials %d", trials)
+	}
+	batches := (trials + calBatchSize - 1) / calBatchSize
+	labels := make([]string, batches)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("batch=%d", i)
+	}
+	rows, err := harness.Sweep(context.Background(), harness.Spec[[]float64]{
+		Label:   "rtt-calibration",
+		Points:  labels,
+		Trials:  1,
+		Seed:    seed,
+		Workers: workers,
+		Run: func(_ context.Context, job harness.Job) ([]float64, error) {
+			count := calBatchSize
+			if job.Point == batches-1 {
+				count = trials - calBatchSize*(batches-1)
+			}
+			return measureRTTBatch(count, calPairDist, jitter, job.Seed)
+		},
+	})
+	if err != nil {
+		return Calibration{}, err
+	}
+	samples := make([]float64, 0, trials)
+	for _, row := range rows {
+		samples = append(samples, row[0]...)
+	}
+	sort.Float64s(samples)
+	return Calibration{samples: samples}, nil
+}
+
+// calPairDist is the distance in feet between the calibration pair.
+const calPairDist = 100
+
+// measureRTTBatch runs one batch of request/reply exchanges on a
+// dedicated two-node network and returns the raw RTT samples.
+func measureRTTBatch(trials int, pairDist float64, jitter phy.Jitter, seed uint64) ([]float64, error) {
 	src := rng.New(seed)
 	sched := sim.New()
 	medium := phy.NewMedium(sched, src.Split("medium"), phy.Config{
 		Range:  150,
 		Jitter: jitter,
 	})
-	const dist = 100 // feet between the calibration pair
 	a := medium.NewRadio(geo.Point{X: 0, Y: 0})
-	b := medium.NewRadio(geo.Point{X: dist, Y: 0})
+	b := medium.NewRadio(geo.Point{X: pairDist, Y: 0})
 
 	samples := make([]float64, 0, trials)
 	var t1, t2, t3 sim.Time
@@ -76,11 +133,9 @@ func CalibrateRTT(trials int, jitter phy.Jitter, seed uint64) Calibration {
 	// time zero cannot bias the first sample.
 	sched.At(sim.Millis(5), kick)
 	if err := sched.Run(); err != nil {
-		panic("core: calibration scheduler stopped: " + err.Error())
+		return nil, fmt.Errorf("core: calibration scheduler stopped: %w", err)
 	}
-
-	sort.Float64s(samples)
-	return Calibration{samples: samples}
+	return samples, nil
 }
 
 // CalibrationFromSamples builds a Calibration from externally measured

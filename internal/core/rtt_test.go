@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"beaconsec/internal/phy"
@@ -137,6 +138,33 @@ func TestEmptyCalibration(t *testing.T) {
 	var c Calibration
 	if c.XMin() != 0 || c.XMax() != 0 || c.CDF(10) != 0 || c.Quantile(0.5) != 0 {
 		t.Error("empty calibration accessors not zero")
+	}
+}
+
+func TestCalibrateRTTWorkersDeterministic(t *testing.T) {
+	// 1,200 trials span three batches; the merged sample set must be
+	// identical whatever the worker count.
+	base, err := CalibrateRTTWorkers(1200, phy.DefaultJitter(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 1200 {
+		t.Fatalf("Len = %d", base.Len())
+	}
+	for _, workers := range []int{0, 2, 8} {
+		c, err := CalibrateRTTWorkers(1200, phy.DefaultJitter(), 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.samples, c.samples) {
+			t.Fatalf("workers=%d changed the calibration samples", workers)
+		}
+	}
+}
+
+func TestCalibrateRTTWorkersInvalidTrials(t *testing.T) {
+	if _, err := CalibrateRTTWorkers(0, phy.DefaultJitter(), 1, 1); err == nil {
+		t.Error("CalibrateRTTWorkers(0) did not error")
 	}
 }
 

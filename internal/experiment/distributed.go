@@ -1,10 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"beaconsec/internal/analysis"
-	"beaconsec/internal/geo"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/scenario"
 	"beaconsec/internal/textplot"
 )
@@ -16,7 +17,7 @@ import (
 // centralized detection rate against the distributed variant's local
 // revocation coverage, and reports the collusion cost (local framing) the
 // base station's global report caps normally prevent.
-func ExtraDistributed(o Options) Result {
+func ExtraDistributed(o Options) (Result, error) {
 	ps := []float64{0.1, 0.2, 0.4, 0.7, 1.0}
 	trials := 2
 	if o.Quick {
@@ -24,45 +25,67 @@ func ExtraDistributed(o Options) Result {
 		trials = 1
 	}
 
-	runVariant := func(distributed bool) ([]float64, float64) {
-		var ys []float64
-		var frame float64
-		for _, p := range ps {
-			var acc float64
-			for tr := 0; tr < trials; tr++ {
+	// One job runs the centralized and distributed variants on
+	// identical seeds (paired), so the curves differ in the revocation
+	// architecture, not the topology draw.
+	type distSample struct {
+		central, centralFP, local, localFrame float64
+	}
+	rows, err := harness.Sweep(context.Background(), harness.Spec[distSample]{
+		Label:    "extra-distributed",
+		Points:   harness.FloatLabels("P", ps),
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) (distSample, error) {
+			var s distSample
+			for _, distributed := range []bool{false, true} {
 				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(p)
+				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
 				cfg.Collude = true
 				cfg.Distributed = distributed
 				cfg.Wormholes = nil
-				cfg.Seed = o.Seed + uint64(tr)*31
-				cfg.Deploy.Seed = o.Seed + uint64(tr)
+				cfg.Seed = job.Seed
+				cfg.Deploy.Seed = job.TrialSeed
 				cfg.CalibrationTrials = 500
 				if o.Quick {
-					cfg.Deploy.N = 300
-					cfg.Deploy.Nb = 33
-					cfg.Deploy.Na = 3
-					cfg.Deploy.Field = geo.Square(550)
+					quickDeploy(&cfg)
 				}
 				res, err := scenario.Run(cfg)
 				if err != nil {
-					panic("experiment: " + err.Error())
+					return s, err
 				}
 				if distributed {
-					acc += res.LocalCoverage
-					frame += res.LocalFalseRevocations
+					s.local = res.LocalCoverage
+					s.localFrame = res.LocalFalseRevocations
 				} else {
-					acc += res.DetectionRate
-					frame += res.FalsePositiveRate
+					s.central = res.DetectionRate
+					s.centralFP = res.FalsePositiveRate
 				}
 			}
-			ys = append(ys, acc/float64(trials))
-		}
-		return ys, frame / float64(len(ps)*trials)
+			return s, nil
+		},
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
-	central, centralFP := runVariant(false)
-	local, localFrame := runVariant(true)
+	central := make([]float64, len(ps))
+	local := make([]float64, len(ps))
+	var centralFP, localFrame float64
+	for i, row := range rows {
+		for _, s := range row {
+			central[i] += s.central
+			local[i] += s.local
+			centralFP += s.centralFP
+			localFrame += s.localFrame
+		}
+		central[i] /= float64(trials)
+		local[i] /= float64(trials)
+	}
+	centralFP /= float64(len(ps) * trials)
+	localFrame /= float64(len(ps) * trials)
 
 	res := Result{
 		ID:     "extra-distributed",
@@ -79,5 +102,5 @@ func ExtraDistributed(o Options) Result {
 		centralFP, localFrame))
 	res.Notes = append(res.Notes,
 		"without the global view, coverage is per-neighborhood and colluders frame locally — why the paper keeps the base station")
-	return res
+	return res, nil
 }

@@ -7,9 +7,11 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/deploy"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/textplot"
 )
 
@@ -20,10 +22,26 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds the trial harness's worker pool for
+	// simulation-backed runners; <= 0 means one worker per available
+	// CPU. Results are identical for any value.
+	Workers int
+	// Progress, when non-nil, observes trial completion within
+	// simulation-backed runners (done jobs, total jobs, elapsed time).
+	// Invocations are serialized per runner.
+	Progress func(done, total int, elapsed time.Duration)
 }
 
 // DefaultOptions is the full-fidelity configuration.
 func DefaultOptions() Options { return Options{Seed: 1} }
+
+// progress adapts the caller's callback to the harness's Progress type.
+func (o Options) progress() func(harness.Progress) {
+	if o.Progress == nil {
+		return nil
+	}
+	return func(p harness.Progress) { o.Progress(p.Done, p.Total, p.Elapsed) }
+}
 
 // Result is one regenerated figure.
 type Result struct {
@@ -49,10 +67,11 @@ func (r Result) Plot() *textplot.Plot {
 	}
 }
 
-// Runner is a figure regenerator.
+// Runner is a figure regenerator. Run reports simulation failures as
+// errors; closed-form runners never fail.
 type Runner struct {
 	ID  string
-	Run func(Options) Result
+	Run func(Options) (Result, error)
 }
 
 // All lists every figure runner in paper order.
@@ -101,7 +120,7 @@ func pGrid(steps int) []float64 {
 }
 
 // Fig5 regenerates Figure 5: P_r = 1 - (1-P)^m for m ∈ {1, 2, 4, 8}.
-func Fig5(o Options) Result {
+func Fig5(o Options) (Result, error) {
 	steps := 100
 	if o.Quick {
 		steps = 20
@@ -125,12 +144,12 @@ func Fig5(o Options) Result {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("P_r at P=0.2: m=1 %.2f, m=8 %.2f — attacker cannot raise P without raising detection",
 			analysis.DetectionRate(0.2, 1), analysis.DetectionRate(0.2, 8)))
-	return res
+	return res, nil
 }
 
 // Fig6a regenerates Figure 6(a): revocation rate P_d vs P for
 // τ′ ∈ {1,2,3,4} at m=8, N_c=100.
-func Fig6a(o Options) Result {
+func Fig6a(o Options) (Result, error) {
 	steps := 50
 	if o.Quick {
 		steps = 15
@@ -154,11 +173,11 @@ func Fig6a(o Options) Result {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("P_d at P=0.2, tau'=2: %.2f; larger tau' needs more alerts and lowers P_d",
 			analysis.RevocationRate(0.2, 8, 2, 100, paperPop())))
-	return res
+	return res, nil
 }
 
 // Fig6b regenerates Figure 6(b): P_d vs P for m ∈ {1,2,4,8,16} at τ′=4.
-func Fig6b(o Options) Result {
+func Fig6b(o Options) (Result, error) {
 	steps := 50
 	if o.Quick {
 		steps = 15
@@ -179,12 +198,12 @@ func Fig6b(o Options) Result {
 			Label: fmt.Sprintf("m=%d", m), X: xs, Y: ys,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Fig7 regenerates Figure 7: P_d vs N_c for P ∈ {0.1,...,0.4} at m=8,
 // τ′=2.
-func Fig7(o Options) Result {
+func Fig7(o Options) (Result, error) {
 	maxNc := 250
 	step := 5
 	if o.Quick {
@@ -208,12 +227,12 @@ func Fig7(o Options) Result {
 	}
 	res.Notes = append(res.Notes,
 		"more requesters mean more alert opportunities: P_d rises with Nc at every P")
-	return res
+	return res, nil
 }
 
 // Fig8 regenerates Figure 8: N′ vs P for τ′ ∈ {2,3,4} × m ∈ {8,4},
 // N_c=100.
-func Fig8(o Options) Result {
+func Fig8(o Options) (Result, error) {
 	steps := 50
 	if o.Quick {
 		steps = 15
@@ -239,12 +258,12 @@ func Fig8(o Options) Result {
 	maxN, argP := analysis.MaxAffected(8, 2, 100, paperPop())
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("attacker optimum at tau'=2,m=8: N' = %.2f at P = %.2f — single digits in practice", maxN, argP))
-	return res
+	return res, nil
 }
 
 // Fig9 regenerates Figure 9: max_P N′ vs N_c for m ∈ {2,4,8} × τ′ ∈
 // {2,4}.
-func Fig9(o Options) Result {
+func Fig9(o Options) (Result, error) {
 	maxNc := 250
 	step := 5
 	if o.Quick {
@@ -271,12 +290,12 @@ func Fig9(o Options) Result {
 	}
 	res.Notes = append(res.Notes,
 		"N' rises, peaks at an interior Nc, then falls as more requesters revoke the attacker faster")
-	return res
+	return res, nil
 }
 
 // Fig10 regenerates Figure 10: P_o vs τ for N_c ∈ {1,50,100,150,200}
 // (τ′=2, m=8, P=0.2, N_w=10, p_d=0.9).
-func Fig10(o Options) Result {
+func Fig10(o Options) (Result, error) {
 	maxTau := 15
 	if o.Quick {
 		maxTau = 10
@@ -305,11 +324,11 @@ func Fig10(o Options) Result {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("P_o(tau=10, Nc=100) = %.2g — close to zero, so (tau=10, tau'=2) is a sound pair",
 			analysis.ReportCounterExceedProb(10, prm)))
-	return res
+	return res, nil
 }
 
 // Fig11 regenerates Figure 11: the beacon deployment scatter.
-func Fig11(o Options) Result {
+func Fig11(o Options) (Result, error) {
 	cfg := deploy.Paper()
 	cfg.Seed = o.Seed
 	d := deploy.New(cfg)
@@ -335,5 +354,5 @@ func Fig11(o Options) Result {
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("%d benign + %d malicious beacons in a %g x %g ft field; avg beacon neighbors %.1f",
 			len(bx), len(mx), cfg.Field.Width(), cfg.Field.Height(), d.AvgBeaconNeighbors()))
-	return res
+	return res, nil
 }

@@ -1,11 +1,24 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func quick() Options { return Options{Quick: true, Seed: 1} }
+
+// mustRun executes a runner and fails the test on error.
+func mustRun(t *testing.T, f func(Options) (Result, error), o Options) Result {
+	t.Helper()
+	r, err := f(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
 
 func checkResult(t *testing.T, r Result) {
 	t.Helper()
@@ -35,7 +48,7 @@ func TestAllRunnersProduceWellFormedResults(t *testing.T) {
 	for _, runner := range All() {
 		runner := runner
 		t.Run(runner.ID, func(t *testing.T) {
-			r := runner.Run(quick())
+			r := mustRun(t, runner.Run, quick())
 			if r.ID != runner.ID {
 				t.Errorf("runner %s returned result ID %s", runner.ID, r.ID)
 			}
@@ -54,7 +67,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestFig4Headlines(t *testing.T) {
-	r := Fig4(quick())
+	r := mustRun(t, Fig4, quick())
 	if len(r.Notes) < 2 {
 		t.Fatalf("fig4 notes: %v", r.Notes)
 	}
@@ -74,7 +87,7 @@ func TestFig4Headlines(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r := Fig5(quick())
+	r := mustRun(t, Fig5, quick())
 	if len(r.Series) != 4 {
 		t.Fatalf("fig5 has %d series", len(r.Series))
 	}
@@ -88,7 +101,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6aShape(t *testing.T) {
-	r := Fig6a(quick())
+	r := mustRun(t, Fig6a, quick())
 	// tau'=1 dominates tau'=4 (easier revocation).
 	t1, t4 := r.Series[0], r.Series[3]
 	for i := range t1.Y {
@@ -99,7 +112,7 @@ func TestFig6aShape(t *testing.T) {
 }
 
 func TestFig7Monotone(t *testing.T) {
-	r := Fig7(quick())
+	r := mustRun(t, Fig7, quick())
 	for _, s := range r.Series {
 		for i := 1; i < len(s.Y); i++ {
 			if s.Y[i] < s.Y[i-1]-1e-9 {
@@ -110,8 +123,8 @@ func TestFig7Monotone(t *testing.T) {
 }
 
 func TestFig9InteriorPeak(t *testing.T) {
-	r := Fig9(Options{Seed: 1}) // full grid: quick is too coarse for peak detection
-	s := r.Series[0]            // m=8, tau'=2
+	r := mustRun(t, Fig9, Options{Seed: 1}) // full grid: quick is too coarse for peak detection
+	s := r.Series[0]                        // m=8, tau'=2
 	peak, peakIdx := 0.0, 0
 	for i, v := range s.Y {
 		if v > peak {
@@ -127,7 +140,7 @@ func TestFig9InteriorPeak(t *testing.T) {
 }
 
 func TestFig10Decreasing(t *testing.T) {
-	r := Fig10(quick())
+	r := mustRun(t, Fig10, quick())
 	for _, s := range r.Series {
 		for i := 1; i < len(s.Y); i++ {
 			if s.Y[i] > s.Y[i-1]+1e-12 {
@@ -138,7 +151,7 @@ func TestFig10Decreasing(t *testing.T) {
 }
 
 func TestFig11Counts(t *testing.T) {
-	r := Fig11(quick())
+	r := mustRun(t, Fig11, quick())
 	if len(r.Series) != 2 {
 		t.Fatalf("fig11 series: %d", len(r.Series))
 	}
@@ -154,7 +167,7 @@ func TestFig11Counts(t *testing.T) {
 }
 
 func TestFig12SimTracksTheory(t *testing.T) {
-	r := Fig12(quick())
+	r := mustRun(t, Fig12, quick())
 	sim, th := r.Series[0], r.Series[1]
 	for i := range sim.Y {
 		if d := sim.Y[i] - th.Y[i]; d > 0.45 || d < -0.45 {
@@ -164,7 +177,7 @@ func TestFig12SimTracksTheory(t *testing.T) {
 }
 
 func TestFig14ROCRange(t *testing.T) {
-	r := Fig14(quick())
+	r := mustRun(t, Fig14, quick())
 	for _, s := range r.Series {
 		for i := range s.X {
 			if s.X[i] < 0 || s.X[i] > 1 || s.Y[i] < 0 || s.Y[i] > 1 {
@@ -175,7 +188,7 @@ func TestFig14ROCRange(t *testing.T) {
 }
 
 func TestExtraLocalizationDefenseHelps(t *testing.T) {
-	r := ExtraLocalization(quick())
+	r := mustRun(t, ExtraLocalization, quick())
 	defended, undefended := r.Series[0], r.Series[1]
 	last := len(defended.Y) - 1
 	if defended.Y[last] >= undefended.Y[last] {
@@ -185,7 +198,7 @@ func TestExtraLocalizationDefenseHelps(t *testing.T) {
 }
 
 func TestExtraAblationOrdering(t *testing.T) {
-	r := ExtraAblation(quick())
+	r := mustRun(t, ExtraAblation, quick())
 	full := r.Series[0].Y[0]
 	noRTT := r.Series[1].Y[0]
 	if noRTT < full {
@@ -194,7 +207,7 @@ func TestExtraAblationOrdering(t *testing.T) {
 }
 
 func TestExtraPromotionShape(t *testing.T) {
-	r := ExtraPromotion(Options{Seed: 1}) // full size: quick topologies can be too sparse
+	r := mustRun(t, ExtraPromotion, Options{Seed: 1}) // full size: quick topologies can be too sparse
 	if len(r.Series) != 3 {
 		t.Fatalf("promotion variants: %d", len(r.Series))
 	}
@@ -231,7 +244,7 @@ func TestExtraPromotionShape(t *testing.T) {
 }
 
 func TestExtraDistributedShape(t *testing.T) {
-	r := ExtraDistributed(quick())
+	r := mustRun(t, ExtraDistributed, quick())
 	if len(r.Series) != 2 {
 		t.Fatalf("series: %d", len(r.Series))
 	}
@@ -256,7 +269,7 @@ func TestExtraRoutingDefenseHelps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale routing experiment in -short mode")
 	}
-	r := ExtraRouting(Options{Seed: 1})
+	r := mustRun(t, ExtraRouting, Options{Seed: 1})
 	defended, undefended := r.Series[0], r.Series[1]
 	last := len(defended.Y) - 1
 	if defended.Y[last] <= undefended.Y[last] {
@@ -265,5 +278,50 @@ func TestExtraRoutingDefenseHelps(t *testing.T) {
 	}
 	if defended.Y[last] < 0.6 {
 		t.Errorf("defended delivery rate %v suspiciously low", defended.Y[last])
+	}
+}
+
+// TestFig12DeterministicAcrossWorkerCounts proves the parallel refactor
+// preserves reproducibility: the same seed must give byte-identical
+// figure output whether the sweep runs on one worker or eight.
+func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
+	runAt := func(workers int) Result {
+		t.Helper()
+		return mustRun(t, Fig12, Options{Quick: true, Seed: 1, Workers: workers})
+	}
+	base := runAt(1)
+	for _, workers := range []int{0, 8} {
+		got := runAt(workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("Workers=%d changed the result:\nWorkers=1: %+v\nWorkers=%d: %+v",
+				workers, base, workers, got)
+		}
+		if base.Plot().CSV() != got.Plot().CSV() {
+			t.Fatalf("Workers=%d changed the CSV rendering", workers)
+		}
+	}
+}
+
+// TestProgressReportsAllJobs checks the Options.Progress callback sees
+// every job of a simulation-backed sweep and ends at done == total.
+func TestProgressReportsAllJobs(t *testing.T) {
+	var mu sync.Mutex
+	var calls, last, total int
+	o := Options{Quick: true, Seed: 1, Workers: 2}
+	o.Progress = func(done, tot int, elapsed time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		last, total = done, tot
+		if elapsed < 0 {
+			t.Errorf("negative elapsed %v", elapsed)
+		}
+	}
+	mustRun(t, Fig12, o)
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if last != total || total == 0 {
+		t.Errorf("final progress %d/%d, want done == total > 0", last, total)
 	}
 }

@@ -1,20 +1,36 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"beaconsec/internal/geo"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/localization"
 	"beaconsec/internal/rng"
 	"beaconsec/internal/textplot"
 )
+
+// promotionVariants are E3's three configurations. The two liar variants
+// consume the topology stream identically, so for a given trial they see
+// the same node placement and the same liar set — the detector's effect
+// is isolated.
+var promotionVariants = []struct {
+	label  string
+	liars  bool
+	detect bool
+}{
+	{"honest promotions", false, false},
+	{"15% liars, no detector", true, false},
+	{"15% liars, consistency detector", true, true},
+}
 
 // ExtraPromotion is extension experiment E3, the paper's §2.3 discussion
 // made concrete: when localized non-beacon nodes are promoted to serve as
 // beacons (n-hop multilateration), localization error accumulates tier by
 // tier; lying promoted nodes amplify it; and the consistency constraints
 // — applied as robust residual trimming — pull the error back down.
-func ExtraPromotion(o Options) Result {
+func ExtraPromotion(o Options) (Result, error) {
 	nodes := 400
 	trials := 3
 	if o.Quick {
@@ -33,61 +49,41 @@ func ExtraPromotion(o Options) Result {
 		Field:        field,
 	}
 
-	type variantResult struct {
-		label string
-		errs  []float64
-	}
-	variants := []struct {
-		label  string
-		liars  bool
-		detect bool
-	}{
-		{"honest promotions", false, false},
-		{"15% liars, no detector", true, false},
-		{"15% liars, consistency detector", true, true},
-	}
-
-	var out []variantResult
-	maxTiers := 0
-	for _, v := range variants {
-		accum := map[int][]float64{}
-		for tr := 0; tr < trials; tr++ {
-			src := rng.New(o.Seed + uint64(tr)*101)
-			truth := make([]geo.Point, nodes)
-			isBeacon := make([]bool, nodes)
-			liars := make([]bool, nodes)
-			for i := range truth {
-				truth[i] = geo.Point{X: src.Uniform(0, field.Width()), Y: src.Uniform(0, field.Height())}
-				if src.Bool(0.08) {
-					isBeacon[i] = true
-				} else if v.liars && src.Bool(0.15) {
-					liars[i] = true
+	// One job runs all three variants of one trial from the same
+	// per-trial seed (paired comparison, as promotionVariants notes).
+	rows, err := harness.Sweep(context.Background(), harness.Spec[[3][]float64]{
+		Label:    "extra-promotion",
+		Points:   []string{"tier-error"},
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) ([3][]float64, error) {
+			var tiers [3][]float64
+			for vi, v := range promotionVariants {
+				src := rng.New(job.TrialSeed)
+				truth := make([]geo.Point, nodes)
+				isBeacon := make([]bool, nodes)
+				liars := make([]bool, nodes)
+				for i := range truth {
+					truth[i] = geo.Point{X: src.Uniform(0, field.Width()), Y: src.Uniform(0, field.Height())}
+					if src.Bool(0.08) {
+						isBeacon[i] = true
+					} else if v.liars && src.Bool(0.15) {
+						liars[i] = true
+					}
 				}
+				c := cfg
+				c.DetectMalicious = v.detect
+				res := localization.IterativeLocalize(truth, isBeacon, liars,
+					geo.Point{X: 120, Y: -90}, c, src.Split("measure"))
+				tiers[vi] = res.MeanErrorByTier(truth)
 			}
-			c := cfg
-			c.DetectMalicious = v.detect
-			res := localization.IterativeLocalize(truth, isBeacon, liars,
-				geo.Point{X: 120, Y: -90}, c, src.Split("measure"))
-			for tier, e := range res.MeanErrorByTier(truth) {
-				accum[tier] = append(accum[tier], e)
-			}
-		}
-		var errs []float64
-		for tier := 0; ; tier++ {
-			vals, ok := accum[tier]
-			if !ok {
-				break
-			}
-			sum := 0.0
-			for _, e := range vals {
-				sum += e
-			}
-			errs = append(errs, sum/float64(len(vals)))
-		}
-		if len(errs) > maxTiers {
-			maxTiers = len(errs)
-		}
-		out = append(out, variantResult{label: v.label, errs: errs})
+			return tiers, nil
+		},
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	res := Result{
@@ -96,23 +92,37 @@ func ExtraPromotion(o Options) Result {
 		XLabel: "tier",
 		YLabel: "mean localization error (ft)",
 	}
-	for _, v := range out {
-		xs := make([]float64, len(v.errs))
-		for i := range xs {
-			xs[i] = float64(i)
-		}
-		res.Series = append(res.Series, textplot.Series{Label: v.label, X: xs, Y: v.errs})
-	}
-	if len(out) == 3 {
-		lastOf := func(v variantResult) float64 {
-			if len(v.errs) == 0 {
-				return 0
+	var finals []float64
+	for vi, v := range promotionVariants {
+		// Average each tier over the trials that formed it (deep trials
+		// can grow more tiers than shallow ones).
+		var sums []float64
+		var counts []int
+		for _, tiers := range rows[0] {
+			for tier, e := range tiers[vi] {
+				if tier >= len(sums) {
+					sums = append(sums, 0)
+					counts = append(counts, 0)
+				}
+				sums[tier] += e
+				counts[tier]++
 			}
-			return v.errs[len(v.errs)-1]
 		}
-		res.Notes = append(res.Notes, fmt.Sprintf(
-			"final-tier mean error: honest %.1f ft, liars undetected %.1f ft, with detector %.1f ft",
-			lastOf(out[0]), lastOf(out[1]), lastOf(out[2])))
+		errs := make([]float64, len(sums))
+		xs := make([]float64, len(sums))
+		for tier := range sums {
+			errs[tier] = sums[tier] / float64(counts[tier])
+			xs[tier] = float64(tier)
+		}
+		res.Series = append(res.Series, textplot.Series{Label: v.label, X: xs, Y: errs})
+		if len(errs) > 0 {
+			finals = append(finals, errs[len(errs)-1])
+		} else {
+			finals = append(finals, 0)
+		}
 	}
-	return res
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"final-tier mean error: honest %.1f ft, liars undetected %.1f ft, with detector %.1f ft",
+		finals[0], finals[1], finals[2]))
+	return res, nil
 }

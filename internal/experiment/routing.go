@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/geo"
 	"beaconsec/internal/georoute"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/node"
 	"beaconsec/internal/rng"
 	"beaconsec/internal/scenario"
@@ -17,7 +19,7 @@ import (
 // runs on the positions sensors *believe*; a malicious-beacon attack
 // poisons those positions, and the detect-and-revoke defense restores
 // them. The metric is end-to-end delivery rate over random node pairs.
-func ExtraRouting(o Options) Result {
+func ExtraRouting(o Options) (Result, error) {
 	ps := []float64{0.2, 0.5}
 	trials := 2
 	if o.Quick {
@@ -25,54 +27,81 @@ func ExtraRouting(o Options) Result {
 		trials = 1
 	}
 
-	variant := func(p float64, defended bool) float64 {
-		var acc float64
-		for tr := 0; tr < trials; tr++ {
-			cfg := scenario.Paper()
-			cfg.Strategy = analysis.StrategyForP(p)
-			cfg.Collude = false
-			cfg.CalibrationTrials = 500
-			cfg.Seed = o.Seed + uint64(tr)*19
-			cfg.Deploy.Seed = o.Seed + uint64(tr)
-			if o.Quick {
-				cfg.Deploy.N = 300
-				cfg.Deploy.Nb = 33
-				cfg.Deploy.Na = 3
-				cfg.Deploy.Field = geo.Square(550)
+	// One job routes the defended and undefended variants on identical
+	// seeds and source/destination pairs (paired comparison).
+	type deliverySample struct{ defended, undefended float64 }
+	points, err := harness.SweepReduce(context.Background(), harness.Spec[deliverySample]{
+		Label:    "extra-routing",
+		Points:   harness.FloatLabels("P", ps),
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) (deliverySample, error) {
+			runVariant := func(defended bool) (float64, error) {
+				cfg := scenario.Paper()
+				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
+				cfg.Collude = false
+				cfg.CalibrationTrials = 500
+				cfg.Seed = job.Seed
+				cfg.Deploy.Seed = job.TrialSeed
+				if o.Quick {
+					quickDeploy(&cfg)
+				}
+				if !defended {
+					cfg.DisableRTTFilter = true
+					cfg.DisableWormholeFilter = true
+					cfg.Revoke.AlertThreshold = 1 << 20
+				}
+				res, err := scenario.Run(cfg)
+				if err != nil {
+					return 0, err
+				}
+				return routeOnEstimates(res, cfg, job.TrialSeed), nil
 			}
-			if !defended {
-				cfg.DisableRTTFilter = true
-				cfg.DisableWormholeFilter = true
-				cfg.Revoke.AlertThreshold = 1 << 20
+			var s deliverySample
+			var err error
+			if s.defended, err = runVariant(true); err != nil {
+				return s, err
 			}
-			res, err := scenario.Run(cfg)
-			if err != nil {
-				panic("experiment: " + err.Error())
+			if s.undefended, err = runVariant(false); err != nil {
+				return s, err
 			}
-			acc += routeOnEstimates(res, cfg, o.Seed+uint64(tr))
+			return s, nil
+		},
+	}, func(_ int, trials []deliverySample) deliverySample {
+		var mean deliverySample
+		for _, s := range trials {
+			mean.defended += s.defended
+			mean.undefended += s.undefended
 		}
-		return acc / float64(trials)
+		mean.defended /= float64(len(trials))
+		mean.undefended /= float64(len(trials))
+		return mean
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
+	defY := make([]float64, len(ps))
+	undefY := make([]float64, len(ps))
+	for i, s := range points {
+		defY[i], undefY[i] = s.defended, s.undefended
+	}
 	res := Result{
 		ID:     "extra-routing",
 		Title:  "E5: geographic-routing delivery rate on believed positions",
 		XLabel: "P",
 		YLabel: "delivery rate",
-	}
-	var defY, undefY []float64
-	for _, p := range ps {
-		defY = append(defY, variant(p, true))
-		undefY = append(undefY, variant(p, false))
-	}
-	res.Series = []textplot.Series{
-		{Label: "defended (detect+revoke)", X: ps, Y: defY},
-		{Label: "undefended", X: ps, Y: undefY},
+		Series: []textplot.Series{
+			{Label: "defended (detect+revoke)", X: ps, Y: defY},
+			{Label: "undefended", X: ps, Y: undefY},
+		},
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"at P=%.1f: delivery %.2f defended vs %.2f undefended — corrupted positions break greedy forwarding",
 		ps[len(ps)-1], defY[len(defY)-1], undefY[len(undefY)-1]))
-	return res
+	return res, nil
 }
 
 // routeOnEstimates builds the routing substrate from a finished

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/core"
 	"beaconsec/internal/geo"
+	"beaconsec/internal/harness"
 	"beaconsec/internal/phy"
 	"beaconsec/internal/revoke"
 	"beaconsec/internal/scenario"
@@ -15,12 +17,15 @@ import (
 // Fig4 regenerates Figure 4: the empirical CDF of the no-attack RTT,
 // measured over 10,000 request/reply exchanges (500 in quick mode), with
 // the x_min / x_max / spread headline values.
-func Fig4(o Options) Result {
+func Fig4(o Options) (Result, error) {
 	trials := 10000
 	if o.Quick {
 		trials = 500
 	}
-	cal := core.CalibrateRTT(trials, phy.DefaultJitter(), o.Seed)
+	cal, err := core.CalibrateRTTWorkers(trials, phy.DefaultJitter(), o.Seed, o.Workers)
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, ys []float64
 	const points = 120
 	span := cal.XMax() - cal.XMin()
@@ -42,61 +47,89 @@ func Fig4(o Options) Result {
 			fmt.Sprintf("one 16-byte packet = %d cycles: any store-and-forward replay is caught",
 				phy.FrameAirTime(16)),
 		},
-	}
+	}, nil
 }
 
-// simSweep runs the paper-scale scenario across a P grid and returns the
-// per-P averaged results.
-func simSweep(o Options, ps []float64, trials int, mutate func(*scenario.Config)) []*scenario.Result {
-	out := make([]*scenario.Result, 0, len(ps))
-	// One calibration shared across runs: the threshold is a deployment
-	// constant, not per-run state.
+// quickDeploy shrinks the deployment for smoke tests and benchmarks.
+func quickDeploy(c *scenario.Config) {
+	c.Deploy.N = 300
+	c.Deploy.Nb = 33
+	c.Deploy.Na = 3
+	c.Deploy.Field = geo.Square(550)
+}
+
+// calThreshold runs the shared RTT calibration: the threshold is a
+// deployment constant, not per-run state, so it is measured once per
+// figure and pinned into every scenario.
+func calThreshold(o Options) (float64, error) {
 	calTrials := 2000
 	if o.Quick {
 		calTrials = 500
 	}
-	threshold := core.CalibrateRTT(calTrials, phy.DefaultJitter(), o.Seed^0xC0FFEE).Threshold()
-	for _, p := range ps {
-		agg := &scenario.Result{}
-		var accDet, accAff, accNc, accFPR float64
-		var accBenign, accTrue int
-		for tr := 0; tr < trials; tr++ {
+	cal, err := core.CalibrateRTTWorkers(calTrials, phy.DefaultJitter(), o.Seed^0xC0FFEE, o.Workers)
+	if err != nil {
+		return 0, err
+	}
+	return cal.Threshold(), nil
+}
+
+// simSweep runs the paper-scale scenario across a P grid on the trial
+// harness and returns the per-P averaged results. The sweep label keys
+// the seed streams, so two figures with the same root seed never replay
+// each other's trials.
+func simSweep(o Options, label string, ps []float64, trials int, mutate func(*scenario.Config)) ([]*scenario.Result, error) {
+	threshold, err := calThreshold(o)
+	if err != nil {
+		return nil, err
+	}
+	return harness.SweepReduce(context.Background(), harness.Spec[*scenario.Result]{
+		Label:    label,
+		Points:   harness.FloatLabels("P", ps),
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) (*scenario.Result, error) {
 			cfg := scenario.Paper()
-			cfg.Strategy = analysis.StrategyForP(p)
-			cfg.Seed = o.Seed + uint64(tr)*1000 + uint64(p*1e6)
-			cfg.Deploy.Seed = o.Seed + uint64(tr)
+			cfg.Strategy = analysis.StrategyForP(ps[job.Point])
+			cfg.Seed = job.Seed
+			// The deployment is shared across sweep points (common
+			// random numbers): only the trial index seeds placement, so
+			// curves differ in the swept parameter, not the topology.
+			cfg.Deploy.Seed = job.TrialSeed
 			cfg.RTTThreshold = threshold
 			if o.Quick {
-				cfg.Deploy.N = 300
-				cfg.Deploy.Nb = 33
-				cfg.Deploy.Na = 3
-				cfg.Deploy.Field = geo.Square(550)
+				quickDeploy(&cfg)
 			}
 			if mutate != nil {
 				mutate(&cfg)
 			}
-			res, err := scenario.Run(cfg)
-			if err != nil {
-				panic("experiment: " + err.Error())
-			}
-			accDet += res.DetectionRate
-			accAff += res.AffectedPerMalicious
-			accNc += res.AvgNc
-			accFPR += res.FalsePositiveRate
-			accBenign += res.BenignAlerts
-			accTrue += res.TrueAlerts
-			agg.Population = res.Population
-		}
-		f := float64(trials)
-		agg.DetectionRate = accDet / f
-		agg.AffectedPerMalicious = accAff / f
-		agg.AvgNc = accNc / f
-		agg.FalsePositiveRate = accFPR / f
-		agg.BenignAlerts = accBenign / trials
-		agg.TrueAlerts = accTrue / trials
-		out = append(out, agg)
+			return scenario.Run(cfg)
+		},
+	}, meanScenario)
+}
+
+// meanScenario averages the metric fields the figures consume; the
+// population is constant across trials of a point.
+func meanScenario(_ int, runs []*scenario.Result) *scenario.Result {
+	agg := &scenario.Result{}
+	for _, r := range runs {
+		agg.DetectionRate += r.DetectionRate
+		agg.AffectedPerMalicious += r.AffectedPerMalicious
+		agg.AvgNc += r.AvgNc
+		agg.FalsePositiveRate += r.FalsePositiveRate
+		agg.BenignAlerts += r.BenignAlerts
+		agg.TrueAlerts += r.TrueAlerts
+		agg.Population = r.Population
 	}
-	return out
+	f := float64(len(runs))
+	agg.DetectionRate /= f
+	agg.AffectedPerMalicious /= f
+	agg.AvgNc /= f
+	agg.FalsePositiveRate /= f
+	agg.BenignAlerts /= len(runs)
+	agg.TrueAlerts /= len(runs)
+	return agg
 }
 
 func sweepGrid(o Options) ([]float64, int) {
@@ -108,9 +141,12 @@ func sweepGrid(o Options) ([]float64, int) {
 
 // Fig12 regenerates Figure 12: revocation detection rate vs P, simulation
 // against theory, at (τ=10, τ′=2), m=8, p_d=0.9, one analog wormhole.
-func Fig12(o Options) Result {
+func Fig12(o Options) (Result, error) {
 	ps, trials := sweepGrid(o)
-	sims := simSweep(o, ps, trials, func(c *scenario.Config) { c.Collude = false })
+	sims, err := simSweep(o, "fig12", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	if err != nil {
+		return Result{}, err
+	}
 	var simY, thY []float64
 	for i, p := range ps {
 		simY = append(simY, sims[i].DetectionRate)
@@ -129,14 +165,17 @@ func Fig12(o Options) Result {
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"measured Nc = %.0f; simulation tracks theory (paper: 'the result conforms to the theoretical analysis')",
 		sims[len(sims)-1].AvgNc))
-	return res
+	return res, nil
 }
 
 // Fig13 regenerates Figure 13: N′ (affected non-beacon nodes per
 // malicious beacon) vs P, simulation against theory.
-func Fig13(o Options) Result {
+func Fig13(o Options) (Result, error) {
 	ps, trials := sweepGrid(o)
-	sims := simSweep(o, ps, trials, func(c *scenario.Config) { c.Collude = false })
+	sims, err := simSweep(o, "fig13", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	if err != nil {
+		return Result{}, err
+	}
 	var simY, thY []float64
 	for i, p := range ps {
 		simY = append(simY, sims[i].AffectedPerMalicious)
@@ -145,7 +184,7 @@ func Fig13(o Options) Result {
 		// (N - N_b)/N factor does.
 		thY = append(thY, analysis.AffectedNodes(p, 8, 2, int(sims[i].AvgNc), sims[i].Population))
 	}
-	res := Result{
+	return Result{
 		ID:     "fig13",
 		Title:  "Affected non-beacon nodes N' vs P: simulation against theory",
 		XLabel: "P",
@@ -157,15 +196,14 @@ func Fig13(o Options) Result {
 		Notes: []string{
 			"observable but small sim-theory gap, as in the paper ('in general close to each other')",
 		},
-	}
-	return res
+	}, nil
 }
 
 // Fig14 regenerates Figure 14: ROC curves — detection rate vs
 // false-positive rate for N_a ∈ {5, 10} and τ′ ∈ {2, 3, 4}, each point a
 // different report cap τ, with colluding malicious reporters and P chosen
 // to maximize N′.
-func Fig14(o Options) Result {
+func Fig14(o Options) (Result, error) {
 	taus := []int{1, 2, 4, 6, 8, 10}
 	nas := []int{5, 10}
 	tauPs := []int{2, 3, 4}
@@ -176,11 +214,69 @@ func Fig14(o Options) Result {
 		tauPs = []int{2}
 		trials = 1
 	}
-	calTrials := 2000
-	if o.Quick {
-		calTrials = 500
+	threshold, err := calThreshold(o)
+	if err != nil {
+		return Result{}, err
 	}
-	threshold := core.CalibrateRTT(calTrials, phy.DefaultJitter(), o.Seed^0xC0FFEE).Threshold()
+
+	// The sweep's points are the full (N_a, τ′, τ) grid; each curve of
+	// the figure groups the τ points of one (N_a, τ′) pair.
+	type combo struct{ na, tauP, tau int }
+	var combos []combo
+	var labels []string
+	for _, na := range nas {
+		for _, tauP := range tauPs {
+			for _, tau := range taus {
+				combos = append(combos, combo{na, tauP, tau})
+				labels = append(labels, fmt.Sprintf("Na=%d,tau'=%d,tau=%d", na, tauP, tau))
+			}
+		}
+	}
+
+	type rocSample struct{ det, fpr float64 }
+	points, err := harness.SweepReduce(context.Background(), harness.Spec[rocSample]{
+		Label:    "fig14",
+		Points:   labels,
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) (rocSample, error) {
+			c := combos[job.Point]
+			cfg := scenario.Paper()
+			cfg.Deploy.Na = c.na
+			cfg.Revoke = revoke.Config{ReportCap: c.tau, AlertThreshold: c.tauP}
+			cfg.RTTThreshold = threshold
+			cfg.Seed = job.Seed
+			cfg.Deploy.Seed = job.TrialSeed
+			if o.Quick {
+				quickDeploy(&cfg)
+				cfg.Deploy.Na = min(c.na, 5)
+			}
+			// Attacker picks P maximizing N' for these thresholds
+			// (paper's assumption).
+			pop := analysis.Population{N: cfg.Deploy.N, Nb: cfg.Deploy.Nb, Na: cfg.Deploy.Na}
+			_, pStar := analysis.MaxAffected(cfg.Deploy.DetectingIDs, c.tauP, 68, pop)
+			cfg.Strategy = analysis.StrategyForP(pStar)
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return rocSample{}, err
+			}
+			return rocSample{det: r.DetectionRate, fpr: r.FalsePositiveRate}, nil
+		},
+	}, func(_ int, trials []rocSample) rocSample {
+		var mean rocSample
+		for _, s := range trials {
+			mean.det += s.det
+			mean.fpr += s.fpr
+		}
+		mean.det /= float64(len(trials))
+		mean.fpr /= float64(len(trials))
+		return mean
+	})
+	if err != nil {
+		return Result{}, err
+	}
 
 	res := Result{
 		ID:     "fig14",
@@ -188,79 +284,56 @@ func Fig14(o Options) Result {
 		XLabel: "false positive rate",
 		YLabel: "detection rate",
 	}
-	for _, na := range nas {
-		for _, tauP := range tauPs {
-			var xs, ys []float64
-			for _, tau := range taus {
-				var det, fpr float64
-				for tr := 0; tr < trials; tr++ {
-					cfg := scenario.Paper()
-					cfg.Deploy.Na = na
-					cfg.Revoke = revoke.Config{ReportCap: tau, AlertThreshold: tauP}
-					cfg.RTTThreshold = threshold
-					cfg.Seed = o.Seed + uint64(tr)*999 + uint64(tau*31+tauP*7+na)
-					cfg.Deploy.Seed = o.Seed + uint64(tr)
-					if o.Quick {
-						cfg.Deploy.N = 300
-						cfg.Deploy.Nb = 33
-						cfg.Deploy.Na = min(na, 5)
-						cfg.Deploy.Field = geo.Square(550)
-					}
-					// Attacker picks P maximizing N' for these
-					// thresholds (paper's assumption).
-					pop := analysis.Population{N: cfg.Deploy.N, Nb: cfg.Deploy.Nb, Na: cfg.Deploy.Na}
-					_, pStar := analysis.MaxAffected(cfg.Deploy.DetectingIDs, tauP, 68, pop)
-					cfg.Strategy = analysis.StrategyForP(pStar)
-					r, err := scenario.Run(cfg)
-					if err != nil {
-						panic("experiment: " + err.Error())
-					}
-					det += r.DetectionRate
-					fpr += r.FalsePositiveRate
-				}
-				xs = append(xs, fpr/float64(trials))
-				ys = append(ys, det/float64(trials))
-			}
-			res.Series = append(res.Series, textplot.Series{
-				Label:   fmt.Sprintf("Na=%d,tau'=%d", na, tauP),
-				X:       xs,
-				Y:       ys,
-				Scatter: true,
-			})
+	for i := 0; i < len(combos); i += len(taus) {
+		var xs, ys []float64
+		for j := i; j < i+len(taus); j++ {
+			xs = append(xs, points[j].fpr)
+			ys = append(ys, points[j].det)
 		}
+		res.Series = append(res.Series, textplot.Series{
+			Label:   fmt.Sprintf("Na=%d,tau'=%d", combos[i].na, combos[i].tauP),
+			X:       xs,
+			Y:       ys,
+			Scatter: true,
+		})
 	}
 	res.Notes = append(res.Notes,
 		"most malicious beacons revoked at ~5% FPR when Na=5; FPR grows with Na (colluders force ~Na(tau+1)/(tau'+1) revocations)")
-	return res
+	return res, nil
 }
 
 // ExtraLocalization is extension experiment E1: the motivating claim that
 // malicious beacons corrupt localization, and that detection+revocation
 // restores it. Compares mean localization error with the full defense
 // against a defenseless baseline (no filters, no revocation).
-func ExtraLocalization(o Options) Result {
+func ExtraLocalization(o Options) (Result, error) {
 	ps := []float64{0.1, 0.3, 0.5}
 	trials := 2
 	if o.Quick {
 		ps = []float64{0.3}
 		trials = 1
 	}
-	run := func(defended bool) []float64 {
-		var ys []float64
-		for _, p := range ps {
-			var acc float64
-			for tr := 0; tr < trials; tr++ {
+	// One job runs the defended and undefended variants on identical
+	// seeds — a paired design, so the comparison is not smeared by
+	// topology variance between the two curves.
+	type locSample struct{ defended, undefended float64 }
+	points, err := harness.SweepReduce(context.Background(), harness.Spec[locSample]{
+		Label:    "extra-localization",
+		Points:   harness.FloatLabels("P", ps),
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) (locSample, error) {
+			runVariant := func(defended bool) (float64, error) {
 				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(p)
+				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
 				cfg.Collude = false
-				cfg.Seed = o.Seed + uint64(tr)*77
-				cfg.Deploy.Seed = o.Seed + uint64(tr)
+				cfg.Seed = job.Seed
+				cfg.Deploy.Seed = job.TrialSeed
 				cfg.CalibrationTrials = 500
 				if o.Quick {
-					cfg.Deploy.N = 300
-					cfg.Deploy.Nb = 33
-					cfg.Deploy.Na = 3
-					cfg.Deploy.Field = geo.Square(550)
+					quickDeploy(&cfg)
 				}
 				if !defended {
 					cfg.DisableRTTFilter = true
@@ -270,16 +343,39 @@ func ExtraLocalization(o Options) Result {
 				}
 				r, err := scenario.Run(cfg)
 				if err != nil {
-					panic("experiment: " + err.Error())
+					return 0, err
 				}
-				acc += r.LocErrMean
+				return r.LocErrMean, nil
 			}
-			ys = append(ys, acc/float64(trials))
+			var s locSample
+			var err error
+			if s.defended, err = runVariant(true); err != nil {
+				return s, err
+			}
+			if s.undefended, err = runVariant(false); err != nil {
+				return s, err
+			}
+			return s, nil
+		},
+	}, func(_ int, trials []locSample) locSample {
+		var mean locSample
+		for _, s := range trials {
+			mean.defended += s.defended
+			mean.undefended += s.undefended
 		}
-		return ys
+		mean.defended /= float64(len(trials))
+		mean.undefended /= float64(len(trials))
+		return mean
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	defended := run(true)
-	undefended := run(false)
+
+	defended := make([]float64, len(ps))
+	undefended := make([]float64, len(ps))
+	for i, s := range points {
+		defended[i], undefended[i] = s.defended, s.undefended
+	}
 	res := Result{
 		ID:     "extra-localization",
 		Title:  "E1: mean localization error with vs without the defense",
@@ -293,14 +389,14 @@ func ExtraLocalization(o Options) Result {
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"at P=%.1f: defended %.1f ft vs undefended %.1f ft (ranging error bound 10 ft)",
 		ps[len(ps)-1], defended[len(defended)-1], undefended[len(undefended)-1]))
-	return res
+	return res, nil
 }
 
 // ExtraAblation is extension experiment E2: what each replay filter buys.
 // Three configurations under a wormhole plus local replay attackers:
 // full defense, RTT filter off, wormhole detector off — reporting false
 // alerts between benign beacons.
-func ExtraAblation(o Options) Result {
+func ExtraAblation(o Options) (Result, error) {
 	trials := 3
 	if o.Quick {
 		trials = 1
@@ -314,6 +410,51 @@ func ExtraAblation(o Options) Result {
 		{"RTT filter off", func(c *scenario.Config) { c.DisableRTTFilter = true }},
 		{"wormhole detector off", func(c *scenario.Config) { c.DisableWormholeFilter = true }},
 	}
+	// Each job runs all three variants on identical seeds (paired), so
+	// the ablation differences come from the disabled filter alone.
+	rows, err := harness.Sweep(context.Background(), harness.Spec[[3]float64]{
+		Label:    "extra-ablation",
+		Points:   []string{"benign-alerts"},
+		Trials:   trials,
+		Seed:     o.Seed,
+		Workers:  o.Workers,
+		Progress: o.progress(),
+		Run: func(_ context.Context, job harness.Job) ([3]float64, error) {
+			var alerts [3]float64
+			for vi, v := range variants {
+				cfg := scenario.Paper()
+				cfg.Strategy = analysis.StrategyForP(0) // benign-behaving compromised nodes
+				cfg.Collude = false
+				cfg.Seed = job.Seed
+				cfg.Deploy.Seed = job.TrialSeed
+				cfg.CalibrationTrials = 500
+				if o.Quick {
+					quickDeploy(&cfg)
+					cfg.Wormholes = []scenario.WormholeSpec{{
+						A: geo.Point{X: 100, Y: 100}, B: geo.Point{X: 450, Y: 400}, Latency: 2,
+					}}
+				}
+				// Blanket replay attackers to stress the RTT filter.
+				w := cfg.Deploy.Field.Width()
+				for x := w / 6; x < w; x += w / 3 {
+					for y := w / 6; y < w; y += w / 3 {
+						cfg.ReplayAttackers = append(cfg.ReplayAttackers, geo.Point{X: x, Y: y})
+					}
+				}
+				v.mut(&cfg)
+				r, err := scenario.Run(cfg)
+				if err != nil {
+					return alerts, err
+				}
+				alerts[vi] = float64(r.BenignAlerts)
+			}
+			return alerts, nil
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
 	res := Result{
 		ID:     "extra-ablation",
 		Title:  "E2: false alerts between benign beacons, by disabled filter",
@@ -322,35 +463,8 @@ func ExtraAblation(o Options) Result {
 	}
 	for vi, v := range variants {
 		var acc float64
-		for tr := 0; tr < trials; tr++ {
-			cfg := scenario.Paper()
-			cfg.Strategy = analysis.StrategyForP(0) // benign-behaving compromised nodes
-			cfg.Collude = false
-			cfg.Seed = o.Seed + uint64(tr)*13
-			cfg.Deploy.Seed = o.Seed + uint64(tr)
-			cfg.CalibrationTrials = 500
-			if o.Quick {
-				cfg.Deploy.N = 300
-				cfg.Deploy.Nb = 33
-				cfg.Deploy.Na = 3
-				cfg.Deploy.Field = geo.Square(550)
-				cfg.Wormholes = []scenario.WormholeSpec{{
-					A: geo.Point{X: 100, Y: 100}, B: geo.Point{X: 450, Y: 400}, Latency: 2,
-				}}
-			}
-			// Blanket replay attackers to stress the RTT filter.
-			w := cfg.Deploy.Field.Width()
-			for x := w / 6; x < w; x += w / 3 {
-				for y := w / 6; y < w; y += w / 3 {
-					cfg.ReplayAttackers = append(cfg.ReplayAttackers, geo.Point{X: x, Y: y})
-				}
-			}
-			v.mut(&cfg)
-			r, err := scenario.Run(cfg)
-			if err != nil {
-				panic("experiment: " + err.Error())
-			}
-			acc += float64(r.BenignAlerts)
+		for _, alerts := range rows[0] {
+			acc += alerts[vi]
 		}
 		res.Series = append(res.Series, textplot.Series{
 			Label:   v.label,
@@ -361,12 +475,5 @@ func ExtraAblation(o Options) Result {
 	}
 	res.Notes = append(res.Notes,
 		"the full defense keeps benign-vs-benign alerts near the (1-p_d) wormhole floor; each disabled filter opens a false-positive channel")
-	return res
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return res, nil
 }

@@ -1,0 +1,240 @@
+// Package harness is the shared Monte Carlo trial engine behind every
+// simulation-backed experiment. A sweep is a points × trials grid of
+// independent jobs (one x-axis point, one trial index each); Sweep runs
+// the grid on a bounded worker pool and returns the per-job results in
+// grid order, so callers aggregate however they like (or use SweepReduce
+// for the common per-point fold).
+//
+// Three properties make the harness the single place where trial
+// execution policy lives:
+//
+//   - Determinism. Each job's seeds derive from the root seed through
+//     labeled rng.Split streams (sweep label → point label → trial
+//     index), so results are identical for any worker count and no two
+//     points of a sweep ever share a trial seed — unlike the ad-hoc
+//     `seed + trial*1000 + uint64(p*1e6)` arithmetic this replaced,
+//     which collided across grid cells and truncated fractional axes.
+//   - Bounded parallelism. Workers defaults to one goroutine per
+//     available CPU and is configurable down to 1; jobs are independent
+//     full-fidelity simulations, so the sweep is embarrassingly
+//     parallel.
+//   - Error propagation. The first job error cancels the sweep's
+//     context, stops job dispatch, and is returned to the caller —
+//     experiments report failures instead of panicking.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"beaconsec/internal/rng"
+)
+
+// Job identifies one cell of a sweep grid and carries its
+// deterministically derived seeds.
+type Job struct {
+	// Point and Trial are the grid coordinates: Point indexes
+	// Spec.Points, Trial ranges over [0, Spec.Trials).
+	Point int
+	Trial int
+	// Seed is unique to (sweep label, point label, trial index): the
+	// per-job randomness.
+	Seed uint64
+	// TrialSeed is unique to (sweep label, trial index) and shared by
+	// every point of the same trial — for common-random-number designs
+	// where, e.g., the same node deployment should back every x-axis
+	// point of a trial so curves differ only in the swept parameter.
+	TrialSeed uint64
+}
+
+// Progress reports sweep advancement to Spec.Progress.
+type Progress struct {
+	// Done jobs out of Total.
+	Done, Total int
+	// Elapsed time since Sweep started.
+	Elapsed time.Duration
+}
+
+// Spec describes one points × trials Monte Carlo sweep.
+type Spec[R any] struct {
+	// Label names the sweep. Distinct labels derive independent seed
+	// streams from the same root seed, so two sweeps (e.g. two figures)
+	// with the same root never replay each other's randomness.
+	Label string
+	// Points labels each x-axis point (e.g. "P=0.2"). Labels must be
+	// distinct: the label is the point's seed-stream identity.
+	Points []string
+	// Trials is the number of trials per point.
+	Trials int
+	// Seed is the root seed all job seeds derive from.
+	Seed uint64
+	// Workers bounds the worker pool; <= 0 means one worker per
+	// available CPU (runtime.GOMAXPROCS(0)).
+	Workers int
+	// Run executes one job. It must be safe for concurrent invocation
+	// with distinct jobs; all randomness must come from the job's seeds
+	// for the sweep to stay deterministic.
+	Run func(ctx context.Context, job Job) (R, error)
+	// Progress, when non-nil, observes each job completion.
+	// Invocations are serialized.
+	Progress func(Progress)
+}
+
+// JobSeed returns the seed Sweep assigns to the given grid cell. It is
+// exported so tests can pin the derivation independently of Sweep.
+func JobSeed(rootSeed uint64, sweepLabel, pointLabel string, trial int) uint64 {
+	return rng.New(rootSeed).
+		Split("sweep:" + sweepLabel).
+		Split("point:" + pointLabel).
+		SplitIndex(uint64(trial)).
+		Uint64()
+}
+
+// TrialSeed returns the point-independent seed Sweep assigns to a trial
+// index: every point of a sweep sees the same TrialSeed at the same
+// trial.
+func TrialSeed(rootSeed uint64, sweepLabel string, trial int) uint64 {
+	return rng.New(rootSeed).
+		Split("sweep:" + sweepLabel).
+		Split("trials").
+		SplitIndex(uint64(trial)).
+		Uint64()
+}
+
+// FloatLabels builds one point label per value of a float-valued axis:
+// FloatLabels("P", []float64{0.1, 0.3}) → ["P=0.1", "P=0.3"]. The %g
+// rendering is injective over distinct floats, so distinct values get
+// distinct seed streams.
+func FloatLabels(name string, xs []float64) []string {
+	labels := make([]string, len(xs))
+	for i, x := range xs {
+		labels[i] = fmt.Sprintf("%s=%g", name, x)
+	}
+	return labels
+}
+
+// Sweep runs the spec's points × trials grid and returns results indexed
+// [point][trial]. The result grid is identical for any worker count; the
+// first job error cancels outstanding work and is returned.
+func Sweep[R any](ctx context.Context, spec Spec[R]) ([][]R, error) {
+	if spec.Run == nil {
+		return nil, errors.New("harness: Spec.Run is nil")
+	}
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("harness: non-positive trials %d", spec.Trials)
+	}
+	seen := make(map[string]struct{}, len(spec.Points))
+	for _, l := range spec.Points {
+		if _, dup := seen[l]; dup {
+			return nil, fmt.Errorf("harness: duplicate point label %q would share a seed stream", l)
+		}
+		seen[l] = struct{}{}
+	}
+	out := make([][]R, len(spec.Points))
+	for i := range out {
+		out[i] = make([]R, spec.Trials)
+	}
+	if len(spec.Points) == 0 {
+		return out, nil
+	}
+
+	total := len(spec.Points) * spec.Trials
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	trialSeeds := make([]uint64, spec.Trials)
+	for tr := range trialSeeds {
+		trialSeeds[tr] = TrialSeed(spec.Seed, spec.Label, tr)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	start := time.Now()
+	jobs := make(chan Job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				r, err := spec.Run(ctx, job)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: %s, point %q, trial %d: %w",
+							spec.Label, spec.Points[job.Point], job.Trial, err)
+						cancel()
+					}
+					mu.Unlock()
+					continue
+				}
+				out[job.Point][job.Trial] = r
+				done++
+				if spec.Progress != nil {
+					// Under mu: callback invocations are serialized and
+					// Done is monotone as observed by the callback.
+					spec.Progress(Progress{Done: done, Total: total, Elapsed: time.Since(start)})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for p := range spec.Points {
+		pointSrc := rng.New(spec.Seed).Split("sweep:" + spec.Label).Split("point:" + spec.Points[p])
+		for tr := 0; tr < spec.Trials; tr++ {
+			job := Job{
+				Point:     p,
+				Trial:     tr,
+				Seed:      pointSrc.SplitIndex(uint64(tr)).Uint64(),
+				TrialSeed: trialSeeds[tr],
+			}
+			select {
+			case jobs <- job:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepReduce runs Sweep and folds each point's trials through reduce,
+// preserving point order — the common "average the trials" shape.
+func SweepReduce[R, A any](ctx context.Context, spec Spec[R], reduce func(point int, trials []R) A) ([]A, error) {
+	rows, err := Sweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	folded := make([]A, len(rows))
+	for i, row := range rows {
+		folded[i] = reduce(i, row)
+	}
+	return folded, nil
+}
