@@ -49,6 +49,18 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
 // available CPU; the output is byte-identical to the serial run.
 func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
 
+// BenchmarkMetricsOverhead measures the instrumented fig12 sweep — the
+// same workload BenchmarkSweepSerial timed before the metrics layer
+// existed — so the delta against the recorded pre-metrics baseline in
+// EXPERIMENTS.md is the full cost of counter increments, phase spans,
+// and per-run aggregation. The histogram fast path (nil receiver) and
+// plain uint64 counters are expected to keep that delta within run
+// noise.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	b.ReportAllocs()
+	benchSweepWorkers(b, 1)
+}
+
 // BenchmarkFig04RTTCDF regenerates Figure 4: the empirical no-attack RTT
 // distribution on the simulated MICA2 radio stack.
 func BenchmarkFig04RTTCDF(b *testing.B) { benchFigure(b, "fig04") }

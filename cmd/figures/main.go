@@ -10,16 +10,24 @@
 // Usage:
 //
 //	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
-//	        [-workers N] [-progress]
+//	        [-workers N] [-progress] [-json FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -json writes every figure result — series, notes, and the aggregate
+// ScenarioMetrics (per-phase timings, packet/collision/filter counters)
+// — as one machine-readable JSON document ("-" for stdout). -cpuprofile
+// and -memprofile write pprof profiles of the whole regeneration.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -44,8 +52,37 @@ func run(args []string, out io.Writer) error {
 	height := fs.Int("height", 20, "plot height in characters")
 	workers := fs.Int("workers", 0, "trial and figure concurrency (0 = all CPUs)")
 	progress := fs.Bool("progress", true, "print per-figure trial progress to stderr")
+	jsonOut := fs.String("json", "", "write results as JSON to FILE ('-' for stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
+			}
+		}()
 	}
 
 	var runners []experiment.Runner
@@ -91,7 +128,32 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+
+	if *jsonOut != "" {
+		doc := jsonDoc{Seed: *seed, Quick: *quick, Results: results}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			_, err = out.Write(b)
+		} else {
+			err = os.WriteFile(*jsonOut, b, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// jsonDoc is the -json export: the run parameters plus every figure
+// result, including each simulation-backed figure's aggregate metrics.
+type jsonDoc struct {
+	Seed    uint64              `json:"seed"`
+	Quick   bool                `json:"quick"`
+	Results []experiment.Result `json:"results"`
 }
 
 // runAll executes the runners on a bounded pool (figure-level

@@ -1,11 +1,96 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestRunJSONExportParsesBack runs a simulation-backed figure with -json
+// and parses the document back into the result structs: the export must
+// carry the series plus the aggregate ScenarioMetrics (phase timings,
+// packet/collision/filter counters).
+func TestRunJSONExportParsesBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig12", "-quick", "-progress=false", "-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if doc.Seed != 1 || !doc.Quick || len(doc.Results) != 1 {
+		t.Fatalf("document header wrong: seed=%d quick=%v results=%d",
+			doc.Seed, doc.Quick, len(doc.Results))
+	}
+	res := doc.Results[0]
+	if res.ID != "fig12" || len(res.Series) != 2 {
+		t.Fatalf("fig12 result incomplete: %+v", res)
+	}
+	if res.Metrics == nil {
+		t.Fatal("fig12 export has no metrics")
+	}
+	m := res.Metrics.Scenario
+	if m.Runs == 0 || m.Radio.Transmissions == 0 || m.Link.Delivered == 0 {
+		t.Errorf("metrics counters empty after parse-back: %+v", m)
+	}
+	if len(m.Phases) == 0 || m.Phases[0].Name != "announce" {
+		t.Errorf("phase spans missing after parse-back: %+v", m.Phases)
+	}
+	if res.Metrics.Timing.Jobs == 0 {
+		t.Errorf("timing missing after parse-back: %+v", res.Metrics.Timing)
+	}
+}
+
+// TestRunJSONToStdout checks '-json -' streams the document to the
+// writer instead of a file.
+func TestRunJSONToStdout(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig05", "-quick", "-progress=false", "-json", "-"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(b.String(), "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", b.String())
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal([]byte(b.String()[idx:]), &doc); err != nil {
+		t.Fatalf("stdout JSON does not parse: %v", err)
+	}
+	// fig05 is closed-form: no simulation, so no metrics.
+	if doc.Results[0].Metrics != nil {
+		t.Error("closed-form figure has metrics")
+	}
+}
+
+// TestRunWritesProfiles checks -cpuprofile/-memprofile produce non-empty
+// pprof files.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig05", "-quick", "-progress=false",
+		"-cpuprofile", cpu, "-memprofile", mem}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
 
 func TestRunSingleFigure(t *testing.T) {
 	var b strings.Builder

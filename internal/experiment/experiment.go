@@ -12,6 +12,7 @@ import (
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/deploy"
 	"beaconsec/internal/harness"
+	"beaconsec/internal/scenario"
 	"beaconsec/internal/textplot"
 )
 
@@ -43,6 +44,18 @@ func (o Options) progress() func(harness.Progress) {
 	return func(p harness.Progress) { o.Progress(p.Done, p.Total, p.Elapsed) }
 }
 
+// RunMetrics aggregates the instrumentation of every simulation run a
+// figure executed. The Scenario half is deterministic (merged in grid
+// order, identical for any worker count); the Timing half is wall-clock
+// and varies run to run, so determinism comparisons must zero it.
+type RunMetrics struct {
+	// Scenario sums the per-run deterministic counters (scheduler, radio,
+	// link, probes, filters, revocation) over all runs.
+	Scenario scenario.Metrics `json:"scenario"`
+	// Timing is the sweep's wall-clock profile.
+	Timing harness.Timing `json:"timing"`
+}
+
 // Result is one regenerated figure.
 type Result struct {
 	// ID is the figure identifier ("fig04" ... "fig14", "extra-*").
@@ -55,6 +68,9 @@ type Result struct {
 	// Notes carry headline numbers (x_min/x_max, detection at the
 	// operating point, ...) for EXPERIMENTS.md.
 	Notes []string
+	// Metrics is the aggregate instrumentation of the figure's simulation
+	// runs; nil for closed-form figures, which run no simulation.
+	Metrics *RunMetrics `json:"Metrics,omitempty"`
 }
 
 // Plot converts the result for rendering.

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"encoding/json"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"beaconsec/internal/harness"
 )
 
 func quick() Options { return Options{Quick: true, Seed: 1} }
@@ -281,13 +284,24 @@ func TestExtraRoutingDefenseHelps(t *testing.T) {
 	}
 }
 
+// stripTiming zeroes the wall-clock half of a result's metrics. Wall
+// time is non-deterministic by nature; everything else must be
+// byte-identical across worker counts.
+func stripTiming(r *Result) {
+	if r.Metrics != nil {
+		r.Metrics.Timing = harness.Timing{}
+	}
+}
+
 // TestFig12DeterministicAcrossWorkerCounts proves the parallel refactor
 // preserves reproducibility: the same seed must give byte-identical
 // figure output whether the sweep runs on one worker or eight.
 func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
 	runAt := func(workers int) Result {
 		t.Helper()
-		return mustRun(t, Fig12, Options{Quick: true, Seed: 1, Workers: workers})
+		r := mustRun(t, Fig12, Options{Quick: true, Seed: 1, Workers: workers})
+		stripTiming(&r)
+		return r
 	}
 	base := runAt(1)
 	for _, workers := range []int{0, 8} {
@@ -299,6 +313,99 @@ func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
 		if base.Plot().CSV() != got.Plot().CSV() {
 			t.Fatalf("Workers=%d changed the CSV rendering", workers)
 		}
+	}
+}
+
+// TestFig12MetricsIdenticalAcrossWorkerCounts pins the aggregation order:
+// the deterministic half of the metrics must serialize to identical JSON
+// bytes for any worker count (counters merge in grid order, not
+// completion order).
+func TestFig12MetricsIdenticalAcrossWorkerCounts(t *testing.T) {
+	jsonAt := func(workers int) string {
+		t.Helper()
+		r := mustRun(t, Fig12, Options{Quick: true, Seed: 1, Workers: workers})
+		if r.Metrics == nil {
+			t.Fatal("fig12 produced no metrics")
+		}
+		b, err := json.Marshal(r.Metrics.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := jsonAt(1)
+	for _, workers := range []int{2, 8} {
+		if got := jsonAt(workers); got != base {
+			t.Fatalf("Workers=%d changed the metrics JSON:\n%s\nvs\n%s", workers, base, got)
+		}
+	}
+}
+
+// TestFig12MetricsContent sanity-checks the aggregate counters: a quick
+// fig12 sweep runs 2 points x 1 trial, so Runs = 2, and every layer must
+// have seen traffic.
+func TestFig12MetricsContent(t *testing.T) {
+	r := mustRun(t, Fig12, quick())
+	if r.Metrics == nil {
+		t.Fatal("fig12 produced no metrics")
+	}
+	m := r.Metrics.Scenario
+	if m.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", m.Runs)
+	}
+	if m.Sim.Events == 0 || m.Sim.Scheduled < m.Sim.Events {
+		t.Errorf("implausible scheduler counters: %+v", m.Sim)
+	}
+	if m.Radio.Transmissions == 0 || m.Radio.BytesOnAir == 0 {
+		t.Errorf("no radio traffic: %+v", m.Radio)
+	}
+	if m.Link.Sent == 0 || m.Link.Delivered == 0 {
+		t.Errorf("no link traffic: %+v", m.Link)
+	}
+	if m.Probes.Probes == 0 || m.Probes.Replies == 0 {
+		t.Errorf("no probe exchanges: %+v", m.Probes)
+	}
+	if m.Filters.SensorAccepted == 0 {
+		t.Errorf("sensors accepted nothing: %+v", m.Filters)
+	}
+	if m.Revocation.Uplink.Attempts < m.Revocation.Uplink.Delivered {
+		t.Errorf("uplink delivered more than attempted: %+v", m.Revocation.Uplink)
+	}
+	wantPhases := []string{"announce", "collude", "detect", "localize", "drain"}
+	if len(m.Phases) != len(wantPhases) {
+		t.Fatalf("phases: %+v", m.Phases)
+	}
+	var phaseEvents uint64
+	for i, ph := range m.Phases {
+		if ph.Name != wantPhases[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Name, wantPhases[i])
+		}
+		phaseEvents += ph.Events
+	}
+	if phaseEvents != m.Sim.Events {
+		t.Errorf("phase events sum %d != scheduler events %d", phaseEvents, m.Sim.Events)
+	}
+	tm := r.Metrics.Timing
+	if tm.Jobs != 2 || tm.WallSeconds <= 0 || tm.JobsPerSec <= 0 {
+		t.Errorf("implausible timing: %+v", tm)
+	}
+}
+
+// TestResultJSONRoundTrip proves the machine-readable export is lossless:
+// a figure result (series, notes, metrics including histograms and phase
+// spans) survives encoding/json unchanged.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := mustRun(t, Fig12, quick())
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("JSON round trip changed the result:\n%+v\nvs\n%+v", r, back)
 	}
 }
 

@@ -74,21 +74,23 @@ func calThreshold(o Options) (float64, error) {
 }
 
 // simSweep runs the paper-scale scenario across a P grid on the trial
-// harness and returns the per-P averaged results. The sweep label keys
-// the seed streams, so two figures with the same root seed never replay
-// each other's trials.
-func simSweep(o Options, label string, ps []float64, trials int, mutate func(*scenario.Config)) ([]*scenario.Result, error) {
+// harness and returns the per-P averaged results plus the sweep's
+// aggregate instrumentation. The sweep label keys the seed streams, so
+// two figures with the same root seed never replay each other's trials.
+func simSweep(o Options, label string, ps []float64, trials int, mutate func(*scenario.Config)) ([]*scenario.Result, *RunMetrics, error) {
 	threshold, err := calThreshold(o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return harness.SweepReduce(context.Background(), harness.Spec[*scenario.Result]{
+	timing := harness.NewTiming()
+	sims, err := harness.SweepReduce(context.Background(), harness.Spec[*scenario.Result]{
 		Label:    label,
 		Points:   harness.FloatLabels("P", ps),
 		Trials:   trials,
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Timing:   timing,
 		Run: func(_ context.Context, job harness.Job) (*scenario.Result, error) {
 			cfg := scenario.Paper()
 			cfg.Strategy = analysis.StrategyForP(ps[job.Point])
@@ -107,10 +109,23 @@ func simSweep(o Options, label string, ps []float64, trials int, mutate func(*sc
 			return scenario.Run(cfg)
 		},
 	}, meanScenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	rm := &RunMetrics{Timing: *timing}
+	// Point-then-trial order: the reducer already merged each point's
+	// trials in trial order, so folding points in grid order keeps the
+	// aggregate identical for any worker count.
+	for _, s := range sims {
+		rm.Scenario.Merge(s.Metrics)
+	}
+	return sims, rm, nil
 }
 
 // meanScenario averages the metric fields the figures consume; the
-// population is constant across trials of a point.
+// population is constant across trials of a point. Instrumentation
+// counters are summed (not averaged): Metrics.Runs records how many runs
+// fed them.
 func meanScenario(_ int, runs []*scenario.Result) *scenario.Result {
 	agg := &scenario.Result{}
 	for _, r := range runs {
@@ -121,6 +136,7 @@ func meanScenario(_ int, runs []*scenario.Result) *scenario.Result {
 		agg.BenignAlerts += r.BenignAlerts
 		agg.TrueAlerts += r.TrueAlerts
 		agg.Population = r.Population
+		agg.Metrics.Merge(r.Metrics)
 	}
 	f := float64(len(runs))
 	agg.DetectionRate /= f
@@ -143,7 +159,7 @@ func sweepGrid(o Options) ([]float64, int) {
 // against theory, at (τ=10, τ′=2), m=8, p_d=0.9, one analog wormhole.
 func Fig12(o Options) (Result, error) {
 	ps, trials := sweepGrid(o)
-	sims, err := simSweep(o, "fig12", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	sims, rm, err := simSweep(o, "fig12", ps, trials, func(c *scenario.Config) { c.Collude = false })
 	if err != nil {
 		return Result{}, err
 	}
@@ -161,6 +177,7 @@ func Fig12(o Options) (Result, error) {
 			{Label: "simulation", X: ps, Y: simY},
 			{Label: "theory", X: ps, Y: thY},
 		},
+		Metrics: rm,
 	}
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"measured Nc = %.0f; simulation tracks theory (paper: 'the result conforms to the theoretical analysis')",
@@ -172,7 +189,7 @@ func Fig12(o Options) (Result, error) {
 // malicious beacon) vs P, simulation against theory.
 func Fig13(o Options) (Result, error) {
 	ps, trials := sweepGrid(o)
-	sims, err := simSweep(o, "fig13", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	sims, rm, err := simSweep(o, "fig13", ps, trials, func(c *scenario.Config) { c.Collude = false })
 	if err != nil {
 		return Result{}, err
 	}
@@ -193,6 +210,7 @@ func Fig13(o Options) (Result, error) {
 			{Label: "simulation", X: ps, Y: simY},
 			{Label: "theory", X: ps, Y: thY},
 		},
+		Metrics: rm,
 		Notes: []string{
 			"observable but small sim-theory gap, as in the paper ('in general close to each other')",
 		},
@@ -233,7 +251,11 @@ func Fig14(o Options) (Result, error) {
 		}
 	}
 
-	type rocSample struct{ det, fpr float64 }
+	type rocSample struct {
+		det, fpr float64
+		metrics  scenario.Metrics
+	}
+	timing := harness.NewTiming()
 	points, err := harness.SweepReduce(context.Background(), harness.Spec[rocSample]{
 		Label:    "fig14",
 		Points:   labels,
@@ -241,6 +263,7 @@ func Fig14(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Timing:   timing,
 		Run: func(_ context.Context, job harness.Job) (rocSample, error) {
 			c := combos[job.Point]
 			cfg := scenario.Paper()
@@ -262,13 +285,14 @@ func Fig14(o Options) (Result, error) {
 			if err != nil {
 				return rocSample{}, err
 			}
-			return rocSample{det: r.DetectionRate, fpr: r.FalsePositiveRate}, nil
+			return rocSample{det: r.DetectionRate, fpr: r.FalsePositiveRate, metrics: r.Metrics}, nil
 		},
 	}, func(_ int, trials []rocSample) rocSample {
 		var mean rocSample
 		for _, s := range trials {
 			mean.det += s.det
 			mean.fpr += s.fpr
+			mean.metrics.Merge(s.metrics)
 		}
 		mean.det /= float64(len(trials))
 		mean.fpr /= float64(len(trials))
@@ -277,12 +301,17 @@ func Fig14(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	rm := &RunMetrics{Timing: *timing}
+	for _, pt := range points {
+		rm.Scenario.Merge(pt.metrics)
+	}
 
 	res := Result{
-		ID:     "fig14",
-		Title:  "ROC: detection rate vs false-positive rate (colluding reporters)",
-		XLabel: "false positive rate",
-		YLabel: "detection rate",
+		ID:      "fig14",
+		Title:   "ROC: detection rate vs false-positive rate (colluding reporters)",
+		XLabel:  "false positive rate",
+		YLabel:  "detection rate",
+		Metrics: rm,
 	}
 	for i := 0; i < len(combos); i += len(taus) {
 		var xs, ys []float64

@@ -31,8 +31,52 @@ import (
 	"sync"
 	"time"
 
+	"beaconsec/internal/metrics"
 	"beaconsec/internal/rng"
 )
+
+// Timing is a sweep's wall-clock profile: job count, total wall time,
+// throughput, and a per-job latency histogram. Unlike simulation counters
+// it is NOT deterministic — wall time varies run to run — so determinism
+// comparisons must exclude it. A nil *Timing disables collection at zero
+// cost (the methods are nil-receiver no-ops).
+type Timing struct {
+	// Jobs is the number of completed jobs recorded.
+	Jobs uint64 `json:"jobs"`
+	// WallSeconds is the sweep's total wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// JobsPerSec is Jobs / WallSeconds.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// JobSeconds is the per-job latency distribution, in seconds.
+	JobSeconds *metrics.Histogram `json:"job_seconds,omitempty"`
+}
+
+// NewTiming returns a Timing with a latency histogram spanning 100µs to
+// ~27min in geometric buckets.
+func NewTiming() *Timing {
+	return &Timing{JobSeconds: metrics.NewHistogram(metrics.ExpBounds(1e-4, 2, 24)...)}
+}
+
+// observe records one job's wall duration. Callers must serialize (Sweep
+// records under its mutex).
+func (t *Timing) observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Jobs++
+	t.JobSeconds.Observe(d.Seconds())
+}
+
+// finish stamps the sweep's total wall time and derives throughput.
+func (t *Timing) finish(wall time.Duration) {
+	if t == nil {
+		return
+	}
+	t.WallSeconds = wall.Seconds()
+	if t.WallSeconds > 0 {
+		t.JobsPerSec = float64(t.Jobs) / t.WallSeconds
+	}
+}
 
 // Job identifies one cell of a sweep grid and carries its
 // deterministically derived seeds.
@@ -82,6 +126,9 @@ type Spec[R any] struct {
 	// Progress, when non-nil, observes each job completion.
 	// Invocations are serialized.
 	Progress func(Progress)
+	// Timing, when non-nil, collects the sweep's wall-clock profile
+	// (per-job latency, throughput). nil disables collection.
+	Timing *Timing
 }
 
 // JobSeed returns the seed Sweep assigns to the given grid cell. It is
@@ -173,8 +220,11 @@ func Sweep[R any](ctx context.Context, spec Spec[R]) ([][]R, error) {
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
+				jobStart := time.Now()
 				r, err := spec.Run(ctx, job)
+				jobDur := time.Since(jobStart)
 				mu.Lock()
+				spec.Timing.observe(jobDur)
 				if err != nil {
 					if firstErr == nil {
 						firstErr = fmt.Errorf("harness: %s, point %q, trial %d: %w",
@@ -215,6 +265,7 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	spec.Timing.finish(time.Since(start))
 
 	if firstErr != nil {
 		return nil, firstErr

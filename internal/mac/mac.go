@@ -79,11 +79,24 @@ type SendOptions struct {
 // Stats counts link-layer events.
 type Stats struct {
 	Sent        uint64
+	Backoffs    uint64
 	CSMADrops   uint64
 	AuthFail    uint64
 	NotForUs    uint64
 	DecodeError uint64
 	Delivered   uint64
+}
+
+// Merge adds another endpoint's counters field-wise (used by the scenario
+// layer to aggregate link stats across a deployment's nodes).
+func (s *Stats) Merge(o Stats) {
+	s.Sent += o.Sent
+	s.Backoffs += o.Backoffs
+	s.CSMADrops += o.CSMADrops
+	s.AuthFail += o.AuthFail
+	s.NotForUs += o.NotForUs
+	s.DecodeError += o.DecodeError
+	s.Delivered += o.Delivered
 }
 
 // Endpoint is one node's link-layer interface.
@@ -176,6 +189,7 @@ func (e *Endpoint) attempt(srcID, dst ident.NodeID, seq uint16, payload any, opt
 			}
 			return
 		}
+		e.stats.Backoffs++
 		backoff := sim.Time(1+e.src.Intn(backoffSlots)) * phy.CyclesPerByte
 		e.sched.After(backoff, func() {
 			e.attempt(srcID, dst, seq, payload, opts, try+1)

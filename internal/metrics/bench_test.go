@@ -1,0 +1,40 @@
+package metrics
+
+import "testing"
+
+// BenchmarkCounterInc is the enabled-path cost of the cheapest primitive:
+// one atomic add.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() == 0 {
+		b.Fatal("counter did not count")
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled-path cost of a histogram
+// recording: a binary search over bounds plus summary updates, zero
+// allocations.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExpBounds(1, 2, 20)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xFFFF))
+	}
+	if h.Count == 0 {
+		b.Fatal("histogram did not record")
+	}
+}
+
+// BenchmarkHistogramObserveDisabled is the disabled path every hot loop
+// pays when instrumentation is off: a nil check.
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}

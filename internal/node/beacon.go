@@ -98,6 +98,12 @@ func (b *Beacon) NeighborBeacons() []ident.NodeID {
 // Timeouts returns the count of unanswered probes.
 func (b *Beacon) Timeouts() int { return b.req.Timeouts }
 
+// ProbeStats returns the node's request/reply exchange counters.
+func (b *Beacon) ProbeStats() ProbeStats { return b.req.stats }
+
+// LinkStats returns the node's link-layer counters.
+func (b *Beacon) LinkStats() mac.Stats { return b.ep.Stats() }
+
 // AnnounceAt schedules the beacon's hello broadcast.
 func (b *Beacon) AnnounceAt(at sim.Time) {
 	b.env.Sched.At(at, func() {

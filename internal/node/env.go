@@ -94,6 +94,28 @@ type replyInfo struct {
 	turnaround uint32
 }
 
+// ProbeStats counts one requester's beacon request/reply exchanges.
+type ProbeStats struct {
+	// Probes is the number of request transmissions started, including
+	// retries.
+	Probes uint64 `json:"probes"`
+	// Retries is the number of re-sends after a loss or CSMA drop.
+	Retries uint64 `json:"retries"`
+	// Replies is the number of matched beacon replies (completed
+	// exchanges).
+	Replies uint64 `json:"replies"`
+	// Timeouts is the number of probes abandoned after all retries.
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Merge adds another requester's counters field-wise.
+func (s *ProbeStats) Merge(o ProbeStats) {
+	s.Probes += o.Probes
+	s.Retries += o.Retries
+	s.Replies += o.Replies
+	s.Timeouts += o.Timeouts
+}
+
 // requester is the shared request/reply machinery used by both detecting
 // beacon nodes and sensors: it sends beacon requests, matches replies by
 // echo sequence number and local identity, retries on loss, and captures
@@ -106,6 +128,7 @@ type requester struct {
 	onObservation func(p *probe, d mac.Delivery, reply replyInfo)
 	// Timeouts counts requests that were never answered after retries.
 	Timeouts int
+	stats    ProbeStats
 }
 
 func newRequester(env *Env, ep *mac.Endpoint) *requester {
@@ -119,6 +142,10 @@ func (r *requester) request(local, target ident.NodeID) {
 
 func (r *requester) start(p *probe) {
 	p.tries++
+	r.stats.Probes++
+	if p.tries > 1 {
+		r.stats.Retries++
+	}
 	seq := r.ep.NextSeq()
 	r.pending[seq] = p
 	p.timer = r.env.Sched.After(r.env.timeout(), func() {
@@ -148,6 +175,7 @@ func (r *requester) retryOrFail(p *probe, seq uint16) {
 		return
 	}
 	r.Timeouts++
+	r.stats.Timeouts++
 }
 
 // handleReply matches a beacon reply to its outstanding probe; it returns
@@ -159,6 +187,7 @@ func (r *requester) handleReply(d mac.Delivery, reply packet.BeaconReply) bool {
 	}
 	delete(r.pending, reply.Echo)
 	p.timer.Cancel()
+	r.stats.Replies++
 	if r.onObservation != nil {
 		r.onObservation(p, d, replyInfo{claimed: reply.Loc, turnaround: reply.Turnaround})
 	}

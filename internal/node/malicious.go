@@ -139,6 +139,9 @@ func farClaimFor(loc geo.Point, cfg deploy.Config) geo.Point {
 // ID returns the node's identity.
 func (m *Malicious) ID() ident.NodeID { return m.self.ID }
 
+// LinkStats returns the node's link-layer counters.
+func (m *Malicious) LinkStats() mac.Stats { return m.ep.Stats() }
+
 // AnnounceAt schedules the hello broadcast (a malicious beacon wants to
 // be found).
 func (m *Malicious) AnnounceAt(at sim.Time) {

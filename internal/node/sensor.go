@@ -86,6 +86,12 @@ func (s *Sensor) NeighborBeacons() []ident.NodeID {
 // Timeouts returns the count of unanswered requests.
 func (s *Sensor) Timeouts() int { return s.req.Timeouts }
 
+// ProbeStats returns the node's request/reply exchange counters.
+func (s *Sensor) ProbeStats() ProbeStats { return s.req.stats }
+
+// LinkStats returns the node's link-layer counters.
+func (s *Sensor) LinkStats() mac.Stats { return s.ep.Stats() }
+
 // StartRequests schedules one beacon request per discovered neighbor,
 // spread uniformly over [from, from+window).
 func (s *Sensor) StartRequests(from, window sim.Time) {

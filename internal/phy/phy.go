@@ -232,6 +232,22 @@ type Stats struct {
 	Deliveries    uint64
 	Collisions    uint64
 	HalfDuplex    uint64
+	// Injections counts radio-less launches (wormhole tunnel exits and
+	// replay attackers): attack traffic, a subset of Transmissions.
+	Injections uint64
+	// BytesOnAir is the total frame bytes transmitted.
+	BytesOnAir uint64
+}
+
+// Merge adds another medium's counters field-wise (used by the scenario
+// layer to aggregate metrics deterministically across runs).
+func (s *Stats) Merge(o Stats) {
+	s.Transmissions += o.Transmissions
+	s.Deliveries += o.Deliveries
+	s.Collisions += o.Collisions
+	s.HalfDuplex += o.HalfDuplex
+	s.Injections += o.Injections
+	s.BytesOnAir += o.BytesOnAir
 }
 
 // Config parameterizes a Medium.
@@ -379,6 +395,10 @@ func (m *Medium) launch(origin geo.Point, sender *Radio, f Frame) TxInfo {
 		f.Finalize = nil
 	}
 	m.stats.Transmissions++
+	m.stats.BytesOnAir += uint64(len(f.Data))
+	if sender == nil {
+		m.stats.Injections++
+	}
 	m.actives = append(m.actives, interval{start, end})
 
 	for _, rx := range m.radios {

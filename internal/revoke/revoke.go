@@ -85,6 +85,47 @@ func (o Outcome) String() string {
 	}
 }
 
+// Stats breaks the base station's handled alerts down by outcome.
+type Stats struct {
+	Handled        uint64 `json:"handled"`
+	Accepted       uint64 `json:"accepted"`
+	Revocations    uint64 `json:"revocations"`
+	ReporterCapped uint64 `json:"reporter_capped"`
+	AlreadyRevoked uint64 `json:"already_revoked"`
+	SelfReports    uint64 `json:"self_reports"`
+	Duplicates     uint64 `json:"duplicates"`
+}
+
+// Merge adds another base station's counters field-wise.
+func (s *Stats) Merge(o Stats) {
+	s.Handled += o.Handled
+	s.Accepted += o.Accepted
+	s.Revocations += o.Revocations
+	s.ReporterCapped += o.ReporterCapped
+	s.AlreadyRevoked += o.AlreadyRevoked
+	s.SelfReports += o.SelfReports
+	s.Duplicates += o.Duplicates
+}
+
+func (s *Stats) record(o Outcome) {
+	s.Handled++
+	switch o {
+	case OutcomeAccepted:
+		s.Accepted++
+	case OutcomeRevoked:
+		s.Accepted++ // a revoking alert was also accepted
+		s.Revocations++
+	case OutcomeReporterCapped:
+		s.ReporterCapped++
+	case OutcomeAlreadyRevoked:
+		s.AlreadyRevoked++
+	case OutcomeSelfReport:
+		s.SelfReports++
+	case OutcomeDuplicate:
+		s.Duplicates++
+	}
+}
+
 // BaseStation runs the revocation algorithm. It is safe for concurrent
 // use; within the single-threaded simulation the lock is uncontended.
 type BaseStation struct {
@@ -95,7 +136,7 @@ type BaseStation struct {
 	revoked  map[ident.NodeID]bool
 	seen     map[pair]bool
 	onRevoke []func(ident.NodeID)
-	handled  uint64
+	stats    Stats
 }
 
 type pair struct {
@@ -131,22 +172,25 @@ func (bs *BaseStation) OnRevoke(fn func(ident.NodeID)) {
 // per the paper's algorithm and returns what happened.
 func (bs *BaseStation) HandleAlert(reporter, target ident.NodeID) Outcome {
 	bs.mu.Lock()
-	bs.handled++
 	if reporter == target {
+		bs.stats.record(OutcomeSelfReport)
 		bs.mu.Unlock()
 		return OutcomeSelfReport
 	}
 	// "the alert from a revoked detecting node will still be accepted"
 	// — revocation of the reporter is deliberately not checked.
 	if bs.revoked[target] {
+		bs.stats.record(OutcomeAlreadyRevoked)
 		bs.mu.Unlock()
 		return OutcomeAlreadyRevoked
 	}
 	if bs.seen[pair{reporter, target}] {
+		bs.stats.record(OutcomeDuplicate)
 		bs.mu.Unlock()
 		return OutcomeDuplicate
 	}
 	if bs.reports[reporter] > bs.cfg.ReportCap {
+		bs.stats.record(OutcomeReporterCapped)
 		bs.mu.Unlock()
 		return OutcomeReporterCapped
 	}
@@ -154,10 +198,12 @@ func (bs *BaseStation) HandleAlert(reporter, target ident.NodeID) Outcome {
 	bs.reports[reporter]++
 	bs.alerts[target]++
 	if bs.alerts[target] <= bs.cfg.AlertThreshold {
+		bs.stats.record(OutcomeAccepted)
 		bs.mu.Unlock()
 		return OutcomeAccepted
 	}
 	bs.revoked[target] = true
+	bs.stats.record(OutcomeRevoked)
 	callbacks := make([]func(ident.NodeID), len(bs.onRevoke))
 	copy(callbacks, bs.onRevoke)
 	bs.mu.Unlock()
@@ -204,5 +250,12 @@ func (bs *BaseStation) ReportCount(id ident.NodeID) int {
 func (bs *BaseStation) Handled() uint64 {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
-	return bs.handled
+	return bs.stats.Handled
+}
+
+// Stats returns a copy of the base station's outcome counters.
+func (bs *BaseStation) Stats() Stats {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.stats
 }

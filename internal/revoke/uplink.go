@@ -28,8 +28,23 @@ type Uplink struct {
 	// Delay is the one-way latency per attempt.
 	Delay sim.Time
 
-	delivered uint64
-	lost      uint64
+	stats UplinkStats
+}
+
+// UplinkStats counts uplink traffic: attempts include retransmissions, so
+// Attempts - Delivered - per-alert losses measures the retry cost the
+// paper's "standard fault tolerant techniques" assumption hides.
+type UplinkStats struct {
+	Attempts  uint64 `json:"attempts"`
+	Delivered uint64 `json:"delivered"`
+	Lost      uint64 `json:"lost"`
+}
+
+// Merge adds another uplink's counters field-wise.
+func (s *UplinkStats) Merge(o UplinkStats) {
+	s.Attempts += o.Attempts
+	s.Delivered += o.Delivered
+	s.Lost += o.Lost
 }
 
 // NewUplink builds an uplink to bs over the given scheduler.
@@ -55,15 +70,16 @@ func (u *Uplink) SendAlert(reporter, target ident.NodeID, result func(Outcome)) 
 
 func (u *Uplink) attempt(reporter, target ident.NodeID, result func(Outcome), try int) {
 	u.sched.After(u.Delay, func() {
+		u.stats.Attempts++
 		if u.src != nil && u.src.Bool(u.LossRate) {
 			if try < u.Retries {
 				u.attempt(reporter, target, result, try+1)
 				return
 			}
-			u.lost++
+			u.stats.Lost++
 			return
 		}
-		u.delivered++
+		u.stats.Delivered++
 		out := u.bs.HandleAlert(reporter, target)
 		if result != nil {
 			result(out)
@@ -72,7 +88,10 @@ func (u *Uplink) attempt(reporter, target ident.NodeID, result func(Outcome), tr
 }
 
 // Delivered returns the number of alerts that reached the base station.
-func (u *Uplink) Delivered() uint64 { return u.delivered }
+func (u *Uplink) Delivered() uint64 { return u.stats.Delivered }
 
 // Lost returns the number of alerts dropped after exhausting retries.
-func (u *Uplink) Lost() uint64 { return u.lost }
+func (u *Uplink) Lost() uint64 { return u.stats.Lost }
+
+// Stats returns a copy of the uplink counters.
+func (u *Uplink) Stats() UplinkStats { return u.stats }

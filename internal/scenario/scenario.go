@@ -24,6 +24,7 @@ import (
 	"beaconsec/internal/deploy"
 	"beaconsec/internal/geo"
 	"beaconsec/internal/ident"
+	"beaconsec/internal/metrics"
 	"beaconsec/internal/node"
 	"beaconsec/internal/phy"
 	"beaconsec/internal/revoke"
@@ -184,6 +185,10 @@ type Result struct {
 	Timeouts int
 	// Medium is the radio channel's counter snapshot.
 	Medium phy.Stats
+	// Metrics is the run's full deterministic instrumentation snapshot:
+	// scheduler, radio, link, probe, filter, and revocation counters plus
+	// the per-phase breakdown.
+	Metrics Metrics
 
 	// Sensors retains per-sensor outcomes for downstream analysis (nil
 	// unless Config kept it — populated always; callers may drop it).
@@ -342,15 +347,50 @@ func Run(cfg Config) (*Result, error) {
 		})
 	})
 
-	sched.RunUntil(endAt)
+	// Run the lifecycle phase by phase, snapshotting counters at each
+	// boundary. The successive RunUntil calls execute exactly the event
+	// sequence a single RunUntil(endAt) would (no RNG is consumed at
+	// boundaries), so phase accounting is free of behavioral side effects.
+	cuts := []struct {
+		name  string
+		until sim.Time
+	}{
+		{"announce", colludeAt},
+		{"collude", detectFrom},
+		{"detect", requestAt},
+		{"localize", endAt},
+	}
+	spans := make([]metrics.Span, 0, len(cuts)+1)
+	var prevFired, prevTx uint64
+	prevAt := sched.Now()
+	for _, cut := range cuts {
+		sched.RunUntil(cut.until)
+		fired, tx := sched.Fired(), medium.Stats().Transmissions
+		spans = append(spans, metrics.Span{
+			Name:          cut.name,
+			StartCycles:   uint64(prevAt),
+			EndCycles:     uint64(cut.until),
+			Events:        fired - prevFired,
+			Transmissions: tx - prevTx,
+		})
+		prevFired, prevTx, prevAt = fired, tx, cut.until
+	}
 	if sched.Pending() > 0 {
 		// Drain stragglers (retries, uplink deliveries) to quiescence.
 		if err := sched.Run(); err != nil {
 			return nil, fmt.Errorf("scenario: scheduler stopped: %w", err)
 		}
 	}
+	spans = append(spans, metrics.Span{
+		Name:          "drain",
+		StartCycles:   uint64(endAt),
+		EndCycles:     uint64(sched.Now()),
+		Events:        sched.Fired() - prevFired,
+		Transmissions: medium.Stats().Transmissions - prevTx,
+	})
 
 	res.Medium = medium.Stats()
+	res.collectInstrumentation(sched, medium, uplink, spans)
 	res.collectMetrics(cfg, dep, maliciousByID)
 	return res, nil
 }

@@ -252,6 +252,56 @@ func TestMetricsPlausibility(t *testing.T) {
 	if res.BaseStation() == nil {
 		t.Error("BaseStation() nil")
 	}
+
+	// Instrumentation aggregate: every layer's counters must be live and
+	// mutually consistent for a single run.
+	m := res.Metrics
+	if m.Runs != 1 {
+		t.Errorf("Metrics.Runs = %d", m.Runs)
+	}
+	if m.Sim.Events == 0 || m.Sim.Scheduled < m.Sim.Events {
+		t.Errorf("sim stats implausible: %+v", m.Sim)
+	}
+	if m.Radio.Transmissions != res.Medium.Transmissions {
+		t.Errorf("radio stats diverge from Result.Medium: %d vs %d",
+			m.Radio.Transmissions, res.Medium.Transmissions)
+	}
+	if m.Radio.BytesOnAir == 0 {
+		t.Error("no bytes on air")
+	}
+	if m.Link.Sent == 0 || m.Link.Delivered == 0 {
+		t.Errorf("link stats empty: %+v", m.Link)
+	}
+	if m.Probes.Probes == 0 || m.Probes.Replies == 0 {
+		t.Errorf("probe stats empty: %+v", m.Probes)
+	}
+	if m.Probes.Replies > m.Probes.Probes+m.Probes.Retries {
+		t.Errorf("more replies than attempts: %+v", m.Probes)
+	}
+	if m.Filters.DetectorBenign == 0 {
+		t.Errorf("filter verdicts empty: %+v", m.Filters)
+	}
+	if m.Revocation.Base.Handled == 0 || m.Revocation.Uplink.Attempts < m.Revocation.Uplink.Delivered {
+		t.Errorf("revocation stats implausible: %+v", m.Revocation)
+	}
+	names := make([]string, len(m.Phases))
+	var phaseEvents uint64
+	for i, s := range m.Phases {
+		names[i] = s.Name
+		phaseEvents += s.Events
+	}
+	want := []string{"announce", "collude", "detect", "localize", "drain"}
+	if len(names) != len(want) {
+		t.Fatalf("phases = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", names, want)
+		}
+	}
+	if phaseEvents != m.Sim.Events {
+		t.Errorf("phase events %d do not cover sim events %d", phaseEvents, m.Sim.Events)
+	}
 }
 
 func TestPaperScaleSmoke(t *testing.T) {

@@ -63,6 +63,7 @@ type event struct {
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct {
 	ev *event
+	s  *Scheduler
 }
 
 // Cancel removes the event from the queue if it has not fired yet and
@@ -72,6 +73,9 @@ func (h Handle) Cancel() bool {
 		return false
 	}
 	h.ev.fn = nil
+	if h.s != nil {
+		h.s.cancelled++
+	}
 	return true
 }
 
@@ -114,11 +118,13 @@ func (q *eventQueue) Pop() any {
 // is single-threaded by design (determinism), and experiments parallelize
 // across independent Scheduler instances instead.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	stopped bool
-	fired   uint64
+	now        Time
+	seq        uint64
+	queue      eventQueue
+	stopped    bool
+	fired      uint64
+	cancelled  uint64
+	maxPending int
 }
 
 // New returns a Scheduler starting at time zero.
@@ -134,6 +140,47 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Pending returns the number of events still queued.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// Stats is the scheduler's counter snapshot, for run telemetry.
+type Stats struct {
+	// Events is the number of events executed (same as Fired).
+	Events uint64 `json:"events"`
+	// Scheduled is the number of events ever enqueued (seq allocations).
+	Scheduled uint64 `json:"scheduled"`
+	// Cancelled is the number of events removed via Handle.Cancel before
+	// firing.
+	Cancelled uint64 `json:"cancelled"`
+	// MaxPending is the high-water mark of the event queue.
+	MaxPending int `json:"max_pending"`
+	// VirtualCycles is the current virtual clock, in CPU cycles.
+	VirtualCycles uint64 `json:"virtual_cycles"`
+}
+
+// Stats returns the scheduler's counter snapshot.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Events:        s.fired,
+		Scheduled:     s.seq,
+		Cancelled:     s.cancelled,
+		MaxPending:    s.maxPending,
+		VirtualCycles: uint64(s.now),
+	}
+}
+
+// Merge adds another scheduler's counters field-wise; the virtual clock
+// and queue high-water mark keep the maximum (merged runs are parallel
+// universes, not one longer run).
+func (st *Stats) Merge(o Stats) {
+	st.Events += o.Events
+	st.Scheduled += o.Scheduled
+	st.Cancelled += o.Cancelled
+	if o.MaxPending > st.MaxPending {
+		st.MaxPending = o.MaxPending
+	}
+	if o.VirtualCycles > st.VirtualCycles {
+		st.VirtualCycles = o.VirtualCycles
+	}
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (at < Now) panics: it is always a protocol bug.
 func (s *Scheduler) At(at Time, fn func()) Handle {
@@ -143,7 +190,10 @@ func (s *Scheduler) At(at Time, fn func()) Handle {
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	if len(s.queue) > s.maxPending {
+		s.maxPending = len(s.queue)
+	}
+	return Handle{ev: ev, s: s}
 }
 
 // After schedules fn to run delay cycles from now.
