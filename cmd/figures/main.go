@@ -42,7 +42,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	figs := fs.String("fig", "all", "comma-separated figure IDs, or 'all'")
 	quick := fs.Bool("quick", false, "reduced trials and network size")
@@ -59,28 +59,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Both profiles are flushed by deferred closers so they survive
+	// error paths (a failing figure still yields a usable profile), and
+	// flush failures surface as run's own error instead of a stderr
+	// note with a zero exit status.
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle allocations so the heap profile is stable
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
+			if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+				err = fmt.Errorf("memprofile: %w", werr)
 			}
 		}()
 	}
@@ -146,6 +147,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the heap to path, reporting create, write,
+// and close errors alike (a heap profile that failed to flush is worse
+// than none: it truncates silently and pprof misparses it).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle allocations so the heap profile is stable
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // jsonDoc is the -json export: the run parameters plus every figure

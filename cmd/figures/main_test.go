@@ -92,6 +92,46 @@ func TestRunWritesProfiles(t *testing.T) {
 	}
 }
 
+// TestRunFlushesProfilesOnError checks the deferred flush: when the run
+// itself fails (unknown figure), both profiles must still be written and
+// valid — a long profiled run that dies at the end should not lose its
+// profile.
+func TestRunFlushesProfilesOnError(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	err := run([]string{"-fig", "fig99",
+		"-cpuprofile", cpu, "-memprofile", mem}, &b)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, serr := os.Stat(p)
+		if serr != nil {
+			t.Fatalf("profile %s not flushed on error path: %v", p, serr)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty after error-path flush", p)
+		}
+	}
+}
+
+// TestRunMemProfileErrorSurfaces checks a heap-profile flush failure is
+// the command's error (nonzero exit), not a stderr whisper.
+func TestRunMemProfileErrorSurfaces(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof")
+	var b strings.Builder
+	err := run([]string{"-fig", "fig05", "-quick", "-progress=false",
+		"-memprofile", mem}, &b)
+	if err == nil {
+		t.Fatal("unwritable memprofile path did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "memprofile") {
+		t.Errorf("error does not identify the memprofile: %v", err)
+	}
+}
+
 func TestRunSingleFigure(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-fig", "fig05", "-quick"}, &b); err != nil {

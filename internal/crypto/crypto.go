@@ -12,10 +12,12 @@
 package crypto
 
 import (
-	"crypto/hmac"
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding"
 	"encoding/binary"
+	"hash"
+	"sync"
 
 	"beaconsec/internal/ident"
 )
@@ -35,28 +37,147 @@ type Key [KeySize]byte
 // Tag is a packet authentication tag.
 type Tag [TagSize]byte
 
+// HMAC-SHA256 fast path. crypto/hmac allocates two fresh digests per
+// New, which made every packet sign and every receiver-side verify heap
+// traffic on the simulator's hottest path. The implementation below is
+// the textbook HMAC construction (key ≤ block size, which KeySize
+// guarantees) over reusable sha256 states, with a per-state cache of
+// marshaled pad midstates so repeated keys skip the two pad block
+// compressions too. Steady-state Sign/Verify/KDF do zero heap
+// allocations. Outputs are bit-identical to crypto/hmac (pinned by
+// test), so nothing downstream — golden figures, regression bands —
+// moves.
+
+const (
+	// hmacBlockSize is sha256's block size; KeySize (32) must stay ≤ it
+	// or the pad construction below would need the key-hashing step.
+	hmacBlockSize = 64
+	// macCacheMax bounds each pooled state's key-midstate cache; on
+	// overflow the whole cache is dropped (keys cluster in time, so the
+	// refill cost amortizes away).
+	macCacheMax = 8192
+)
+
+// Compile-time guard for the no-key-hashing assumption.
+var _ [hmacBlockSize - KeySize]struct{}
+
+// macEntry is the sha256 state pair for one key after absorbing the
+// inner (0x36) and outer (0x5c) pads.
+type macEntry struct {
+	inner, outer []byte
+}
+
+// macState is one reusable HMAC computation context. States live in a
+// sync.Pool: the simulation itself is single-threaded, but experiment
+// harnesses run many simulations concurrently through these package
+// functions.
+type macState struct {
+	inner, outer   hash.Hash
+	innerM, outerM encoding.BinaryMarshaler
+	innerU, outerU encoding.BinaryUnmarshaler
+	cache          map[Key]*macEntry
+	isum, osum     [sha256.Size]byte
+	// lenBuf is KDF's length-prefix scratch. It lives here rather than
+	// on KDF's stack because writing a stack array through the
+	// hash.Hash interface would force it to escape (one heap
+	// allocation per call).
+	lenBuf [4]byte
+}
+
+var statePool = sync.Pool{New: func() any {
+	s := &macState{
+		inner: sha256.New(),
+		outer: sha256.New(),
+		cache: make(map[Key]*macEntry, 64),
+	}
+	s.innerM = s.inner.(encoding.BinaryMarshaler)
+	s.outerM = s.outer.(encoding.BinaryMarshaler)
+	s.innerU = s.inner.(encoding.BinaryUnmarshaler)
+	s.outerU = s.outer.(encoding.BinaryUnmarshaler)
+	return s
+}}
+
+func (s *macState) entry(k Key) *macEntry {
+	if e, ok := s.cache[k]; ok {
+		return e
+	}
+	var pad [hmacBlockSize]byte
+	for i := range pad {
+		var b byte
+		if i < KeySize {
+			b = k[i]
+		}
+		pad[i] = b ^ 0x36
+	}
+	s.inner.Reset()
+	s.inner.Write(pad[:])
+	innerState, err := s.innerM.MarshalBinary()
+	if err != nil {
+		panic("crypto: sha256 state marshal: " + err.Error())
+	}
+	for i := range pad {
+		pad[i] ^= 0x36 ^ 0x5c
+	}
+	s.outer.Reset()
+	s.outer.Write(pad[:])
+	outerState, err := s.outerM.MarshalBinary()
+	if err != nil {
+		panic("crypto: sha256 state marshal: " + err.Error())
+	}
+	if len(s.cache) >= macCacheMax {
+		clear(s.cache)
+	}
+	e := &macEntry{inner: innerState, outer: outerState}
+	s.cache[k] = e
+	return e
+}
+
+// begin restores the inner digest to "pads absorbed" for k; the caller
+// then Writes the message into s.inner and calls finish.
+func (s *macState) begin(k Key) *macEntry {
+	e := s.entry(k)
+	if err := s.innerU.UnmarshalBinary(e.inner); err != nil {
+		panic("crypto: sha256 state unmarshal: " + err.Error())
+	}
+	return e
+}
+
+// finish completes the outer hash and returns the 32-byte MAC, valid
+// until the state's next use.
+func (s *macState) finish(e *macEntry) []byte {
+	isum := s.inner.Sum(s.isum[:0])
+	if err := s.outerU.UnmarshalBinary(e.outer); err != nil {
+		panic("crypto: sha256 state unmarshal: " + err.Error())
+	}
+	s.outer.Write(isum)
+	return s.outer.Sum(s.osum[:0])
+}
+
 // KDF derives a subkey from k bound to the given context labels.
 func KDF(k Key, context ...[]byte) Key {
-	mac := hmac.New(sha256.New, k[:])
+	s := statePool.Get().(*macState)
+	e := s.begin(k)
 	for _, c := range context {
 		// Length-prefix each context element so concatenation is
 		// unambiguous (("ab","c") must not collide with ("a","bc")).
-		var lenBuf [4]byte
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(c)))
-		mac.Write(lenBuf[:])
-		mac.Write(c)
+		binary.BigEndian.PutUint32(s.lenBuf[:], uint32(len(c)))
+		s.inner.Write(s.lenBuf[:])
+		s.inner.Write(c)
 	}
 	var out Key
-	copy(out[:], mac.Sum(nil))
+	copy(out[:], s.finish(e))
+	statePool.Put(s)
 	return out
 }
 
 // Sign computes the authentication tag of msg under k.
 func Sign(k Key, msg []byte) Tag {
-	mac := hmac.New(sha256.New, k[:])
-	mac.Write(msg)
+	s := statePool.Get().(*macState)
+	e := s.begin(k)
+	s.inner.Write(msg)
 	var t Tag
-	copy(t[:], mac.Sum(nil))
+	copy(t[:], s.finish(e))
+	statePool.Put(s)
 	return t
 }
 

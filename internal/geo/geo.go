@@ -9,6 +9,7 @@ package geo
 import (
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Point is a location in the sensing field, in feet.
@@ -199,4 +200,96 @@ func sortInts(a []int) {
 			a[j-1], a[j] = a[j], a[j-1]
 		}
 	}
+}
+
+// Grid is an incremental uniform hash grid over points in unbounded
+// space: unlike Index it needs no bounds up front, accepts points
+// anywhere (including outside any nominal field, e.g. wormhole
+// endpoints), and supports Add after construction. The radio medium
+// uses it to resolve transmissions in O(neighbors) instead of O(N).
+//
+// Determinism contract: Candidates visits grid cells in a fixed order
+// (row-major over the query box) and then sorts the gathered indices
+// ascending, so for any query the result order equals the order a
+// brute-force scan over all points in insertion order would produce
+// (filtered to the candidate superset). Callers that must preserve a
+// historical visit order — and therefore rng draw order — apply their
+// own exact distance predicate to the candidates.
+type Grid struct {
+	cell  float64
+	cells map[gridKey][]int32
+	n     int
+}
+
+type gridKey struct{ cx, cy int32 }
+
+// NewGrid builds an empty grid with the given cell size, which should
+// be about the query radius passed to Candidates (one cell ring then
+// covers the query box). It panics on a non-positive cell size.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 {
+		panic(fmt.Sprintf("geo: non-positive grid cell size %v", cell))
+	}
+	return &Grid{cell: cell, cells: make(map[gridKey][]int32)}
+}
+
+func (g *Grid) keyOf(p Point) gridKey {
+	return gridKey{cx: cellCoord(p.X, g.cell), cy: cellCoord(p.Y, g.cell)}
+}
+
+// cellCoord maps a coordinate to its cell index, clamped into int32
+// range so far-out points (degenerate but legal) land in edge cells
+// rather than overflowing.
+func cellCoord(v, cell float64) int32 {
+	c := math.Floor(v / cell)
+	if c < math.MinInt32 {
+		return math.MinInt32
+	}
+	if c > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(c)
+}
+
+// Add inserts a point and returns its index (insertion order).
+func (g *Grid) Add(p Point) int {
+	i := g.n
+	g.n++
+	k := g.keyOf(p)
+	g.cells[k] = append(g.cells[k], int32(i))
+	return i
+}
+
+// Len returns the number of points added.
+func (g *Grid) Len() int { return g.n }
+
+// Candidates appends to dst the indices of every point whose cell
+// intersects the box p ± r — a superset of the points within distance
+// r of p — in ascending index order. It does no exact distance
+// filtering: the caller applies its own predicate, keeping whatever
+// float semantics it had before the grid existed.
+func (g *Grid) Candidates(p Point, r float64, dst []int32) []int32 {
+	if r < 0 {
+		return dst
+	}
+	minCX := cellCoord(p.X-r, g.cell)
+	maxCX := cellCoord(p.X+r, g.cell)
+	minCY := cellCoord(p.Y-r, g.cell)
+	maxCY := cellCoord(p.Y+r, g.cell)
+	start := len(dst)
+	for cy := minCY; ; cy++ {
+		for cx := minCX; ; cx++ {
+			dst = append(dst, g.cells[gridKey{cx, cy}]...)
+			if cx == maxCX {
+				break
+			}
+		}
+		if cy == maxCY {
+			break
+		}
+	}
+	// The gathered set is a concatenation of per-cell ascending runs;
+	// pdqsort exploits those runs and allocates nothing.
+	slices.Sort(dst[start:])
+	return dst
 }

@@ -213,7 +213,11 @@ func (e *Endpoint) attempt(srcID, dst ident.NodeID, seq uint16, payload any, opt
 	if opts.Compose != nil {
 		want := len(sizing)
 		frame.Finalize = func(t3 sim.Time) []byte {
-			final, err := packet.Encode(srcID, dst, seq, opts.Compose(t3), key)
+			// Re-encode in place over the sizing buffer: the frame owns
+			// it, Finalize runs before any receiver sees the bytes, and
+			// the encoded size is pinned, so rebuilding costs no
+			// allocation.
+			final, err := packet.EncodeTo(sizing[:0], srcID, dst, seq, opts.Compose(t3), key)
 			if err != nil {
 				panic("mac: unencodable composed payload: " + err.Error())
 			}

@@ -162,6 +162,19 @@ func typeOf(p any) (Type, error) {
 
 // Encode serializes a packet and appends its authentication tag under key.
 func Encode(src, dst ident.NodeID, seq uint16, payload any, key crypto.Key) ([]byte, error) {
+	n, err := payloadSize(payload)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeTo(make([]byte, 0, headerSize+n+crypto.TagSize), src, dst, seq, payload, key)
+}
+
+// EncodeTo is Encode in append style: it serializes the packet into
+// dst's spare capacity (growing it only if needed) and returns the
+// extended slice. Hot paths that own a reusable buffer — the MAC
+// layer's send-time payload composition, benchmarks, batch encoders —
+// use it to keep the sign→encode path allocation-free; dst may be nil.
+func EncodeTo(dst []byte, src, dstID ident.NodeID, seq uint16, payload any, key crypto.Key) ([]byte, error) {
 	typ, err := typeOf(payload)
 	if err != nil {
 		return nil, err
@@ -170,10 +183,11 @@ func Encode(src, dst ident.NodeID, seq uint16, payload any, key crypto.Key) ([]b
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, headerSize+n+crypto.TagSize)
+	start := len(dst)
+	buf := dst
 	buf = append(buf, byte(typ))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(src))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dstID))
 	buf = binary.BigEndian.AppendUint16(buf, seq)
 	buf = append(buf, byte(n))
 
@@ -191,7 +205,7 @@ func Encode(src, dst ident.NodeID, seq uint16, payload any, key crypto.Key) ([]b
 		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
 	}
 
-	tag := crypto.Sign(key, buf)
+	tag := crypto.Sign(key, buf[start:])
 	buf = append(buf, tag[:]...)
 	return buf, nil
 }

@@ -259,6 +259,13 @@ type Config struct {
 	// Jitter is the SPDR hardware-delay model; the zero value selects
 	// DefaultJitter.
 	Jitter Jitter
+	// BruteForce forces transmissions to resolve receivers with the
+	// historical O(N) scan over all radios instead of the spatial grid.
+	// The two paths are defined to be byte-identical (same receivers,
+	// same visit order, same rng draws); this switch exists so tests and
+	// benchmarks can pin that equivalence. Production callers leave it
+	// false.
+	BruteForce bool
 }
 
 // Medium is the shared radio channel. It is bound to one sim.Scheduler and
@@ -268,9 +275,14 @@ type Medium struct {
 	src     *rng.Source
 	cfg     Config
 	radios  []*Radio
+	grid    *geo.Grid // spatial index over radio positions; cell = Range
+	scratch []int32   // reusable candidate buffer for grid queries
 	taps    []Tap
 	stats   Stats
 	actives []interval // ongoing transmissions anywhere, for carrier sense
+	// pendFree recycles pending-delivery records (and their pre-bound
+	// fire closures) so steady-state delivery allocates nothing.
+	pendFree []*pending
 }
 
 // NewMedium creates a medium over the given scheduler. src must be a
@@ -285,7 +297,7 @@ func NewMedium(sched *sim.Scheduler, src *rng.Source, cfg Config) *Medium {
 	if cfg.Jitter == (Jitter{}) {
 		cfg.Jitter = DefaultJitter()
 	}
-	return &Medium{sched: sched, src: src, cfg: cfg}
+	return &Medium{sched: sched, src: src, cfg: cfg, grid: geo.NewGrid(cfg.Range)}
 }
 
 // Range returns the configured communication range.
@@ -298,6 +310,7 @@ func (m *Medium) Stats() Stats { return m.stats }
 func (m *Medium) NewRadio(pos geo.Point) *Radio {
 	r := &Radio{pos: pos, medium: m}
 	m.radios = append(m.radios, r)
+	m.grid.Add(pos) // grid index == position in m.radios
 	return r
 }
 
@@ -399,17 +412,40 @@ func (m *Medium) launch(origin geo.Point, sender *Radio, f Frame) TxInfo {
 	if sender == nil {
 		m.stats.Injections++
 	}
+	// Prune here, not only in carrier sense: a run that never samples
+	// Busy (no CSMA contention) must not grow actives for its lifetime.
+	m.pruneActives(start)
 	m.actives = append(m.actives, interval{start, end})
 
-	for _, rx := range m.radios {
-		if rx == sender {
-			continue
+	if m.cfg.BruteForce {
+		for _, rx := range m.radios {
+			if rx == sender {
+				continue
+			}
+			trueDist := origin.Dist(rx.pos)
+			if trueDist > m.cfg.Range {
+				continue
+			}
+			m.deliver(rx, origin, trueDist, f, info)
 		}
-		trueDist := origin.Dist(rx.pos)
-		if trueDist > m.cfg.Range {
-			continue
+	} else {
+		// Candidates come back in ascending radio index — registration
+		// order, i.e. exactly the order the brute-force scan visits —
+		// and the in-range predicate below is the scan's own, so the
+		// delivery sequence (and with it the medium's rng draw order)
+		// is byte-identical to the O(N) path.
+		m.scratch = m.grid.Candidates(origin, m.cfg.Range, m.scratch[:0])
+		for _, ri := range m.scratch {
+			rx := m.radios[ri]
+			if rx == sender {
+				continue
+			}
+			trueDist := origin.Dist(rx.pos)
+			if trueDist > m.cfg.Range {
+				continue
+			}
+			m.deliver(rx, origin, trueDist, f, info)
 		}
-		m.deliver(rx, origin, trueDist, f, info)
 	}
 	for _, t := range m.taps {
 		t(origin, f, info)
@@ -417,10 +453,40 @@ func (m *Medium) launch(origin geo.Point, sender *Radio, f Frame) TxInfo {
 	return info
 }
 
+// pending is one in-flight delivery: the arrival record plus everything
+// the reception callback needs. Records are pooled on the medium, and
+// fire is bound to deliverNow exactly once (at pool-entry creation), so
+// a steady-state delivery schedules with zero heap allocations.
+type pending struct {
+	m         *Medium
+	rx        *Radio
+	arr       arrival
+	frame     Frame
+	measured  float64
+	firstByte sim.Time
+	end       sim.Time
+	fire      func()
+}
+
+func (m *Medium) getPending() *pending {
+	if n := len(m.pendFree); n > 0 {
+		p := m.pendFree[n-1]
+		m.pendFree[n-1] = nil
+		m.pendFree = m.pendFree[:n-1]
+		return p
+	}
+	p := &pending{m: m}
+	p.fire = p.deliverNow
+	return p
+}
+
 func (m *Medium) deliver(rx *Radio, origin geo.Point, trueDist float64, f Frame, info TxInfo) {
 	prop := propagation(trueDist)
 	span := interval{info.AirStart + prop, info.AirEnd + prop}
-	a := &arrival{span: span}
+	p := m.getPending()
+	p.rx = rx
+	p.arr = arrival{span: span}
+	a := &p.arr
 	// Collision: overlapping arrivals corrupt each other ("node B either
 	// receives the original signal or receives nothing in case of
 	// collision").
@@ -443,22 +509,36 @@ func (m *Medium) deliver(rx *Radio, origin geo.Point, trueDist float64, f Frame,
 
 	// t2/t4: first byte available in the receiving register one
 	// byte-time plus propagation plus hardware delay after air start.
-	firstByte := info.AirStart + CyclesPerByte + prop + m.cfg.Jitter.draw(m.src)
-	measured := m.cfg.Ranging.Measure(trueDist+f.RangeBias, m.src)
+	p.frame = f
+	p.firstByte = info.AirStart + CyclesPerByte + prop + m.cfg.Jitter.draw(m.src)
+	p.measured = m.cfg.Ranging.Measure(trueDist+f.RangeBias, m.src)
+	p.end = span.end
 
-	m.sched.At(span.end, func() {
-		rx.removeInflight(a)
-		if a.corrupted || rx.handler == nil {
-			return
-		}
-		m.stats.Deliveries++
-		rx.handler(Reception{
-			Frame:         f,
-			MeasuredDist:  measured,
-			FirstByteSPDR: firstByte,
-			End:           span.end,
-		})
-	})
+	m.sched.At(span.end, p.fire)
+}
+
+// deliverNow completes one arrival: it unhooks the arrival record,
+// returns the pending record to the pool (the Reception is copied out
+// first, so the handler may transmit and reuse it immediately), and
+// hands uncorrupted frames to the receiver.
+func (p *pending) deliverNow() {
+	m, rx := p.m, p.rx
+	rec := Reception{
+		Frame:         p.frame,
+		MeasuredDist:  p.measured,
+		FirstByteSPDR: p.firstByte,
+		End:           p.end,
+	}
+	corrupted := p.arr.corrupted
+	rx.removeInflight(&p.arr)
+	p.rx = nil
+	p.frame = Frame{} // drop the Data reference while pooled
+	m.pendFree = append(m.pendFree, p)
+	if corrupted || rx.handler == nil {
+		return
+	}
+	m.stats.Deliveries++
+	rx.handler(rec)
 }
 
 func (r *Radio) removeInflight(target *arrival) {

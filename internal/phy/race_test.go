@@ -1,0 +1,8 @@
+//go:build race
+
+package phy
+
+// The race detector makes sync.Pool randomly drop Puts (by design, to
+// flush out pool misuse), so allocation-count pins are meaningless under
+// -race and are skipped.
+func init() { raceEnabled = true }

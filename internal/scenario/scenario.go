@@ -94,6 +94,12 @@ type Config struct {
 	Distributed bool
 	// Seed drives everything except deployment placement (Deploy.Seed).
 	Seed uint64
+
+	// bruteForceMedium is a test hook: it forces the radio medium's
+	// historical O(N) receiver scan instead of the spatial grid (see
+	// phy.Config.BruteForce). The two paths are pinned byte-identical
+	// by TestGridVsBruteForceByteIdentical.
+	bruteForceMedium bool
 }
 
 // Paper returns the reconstructed configuration of the paper's §4
@@ -232,8 +238,9 @@ func Run(cfg Config) (*Result, error) {
 	src := rng.New(cfg.Seed)
 	sched := sim.New()
 	medium := phy.NewMedium(sched, src.Split("medium"), phy.Config{
-		Range:   cfg.Deploy.Range,
-		Ranging: phy.BoundedUniform{MaxError: cfg.MaxDistError},
+		Range:      cfg.Deploy.Range,
+		Ranging:    phy.BoundedUniform{MaxError: cfg.MaxDistError},
+		BruteForce: cfg.bruteForceMedium,
 	})
 	master := crypto.NewMaster([]byte(fmt.Sprintf("scenario-%d", cfg.Seed)))
 

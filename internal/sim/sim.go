@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -50,26 +49,32 @@ func (t Time) String() string {
 // before the event queue drained.
 var ErrStopped = errors.New("sim: scheduler stopped")
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: after firing (or
+// after a cancelled event is popped) the struct returns to the
+// scheduler's free list with its generation bumped, so a Handle held
+// across the recycle can never cancel the event's next occupant.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among equal times
+	gen uint64 // recycle generation, checked by Handle.Cancel
 	fn  func()
-	// index in the heap, maintained by the heap interface; -1 once popped
-	// or cancelled.
+	// index in the heap; -1 once popped.
 	index int
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. A Handle
+// is pinned to the event's generation: once the event fires and its
+// struct is recycled for a later At, the stale Handle becomes inert.
 type Handle struct {
-	ev *event
-	s  *Scheduler
+	ev  *event
+	s   *Scheduler
+	gen uint64
 }
 
 // Cancel removes the event from the queue if it has not fired yet and
 // reports whether it was cancelled.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.index < 0 || h.ev.fn == nil {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.index < 0 || h.ev.fn == nil {
 		return false
 	}
 	h.ev.fn = nil
@@ -79,37 +84,66 @@ func (h Handle) Cancel() bool {
 	return true
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
+// eventQueue is a binary min-heap ordered by (at, seq). It is typed
+// (not container/heap) so sift operations avoid interface dispatch on
+// the kernel's hottest path.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
+func (q *eventQueue) push(ev *event) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	// Sift up.
+	h := *q
+	i := ev.index
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+func (q *eventQueue) pop() *event {
+	h := *q
+	n := len(h) - 1
+	h.swap(0, n)
+	ev := h[n]
+	h[n] = nil
 	ev.index = -1
-	*q = old[:n-1]
+	h = h[:n]
+	*q = h
+	// Sift down from the root.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
 	return ev
 }
 
@@ -121,14 +155,32 @@ type Scheduler struct {
 	now        Time
 	seq        uint64
 	queue      eventQueue
+	free       []*event // recycled event structs, see event.gen
 	stopped    bool
 	fired      uint64
 	cancelled  uint64
 	maxPending int
 }
 
+// initialQueueCap pre-sizes the event queue and free list so a typical
+// protocol run reaches its steady state without growing either slice.
+const initialQueueCap = 256
+
 // New returns a Scheduler starting at time zero.
-func New() *Scheduler { return &Scheduler{} }
+func New() *Scheduler {
+	return &Scheduler{
+		queue: make(eventQueue, 0, initialQueueCap),
+		free:  make([]*event, 0, initialQueueCap),
+	}
+}
+
+// recycle returns a popped event to the free list. Bumping the
+// generation first invalidates every outstanding Handle to it.
+func (s *Scheduler) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -187,13 +239,23 @@ func (s *Scheduler) At(at Time, fn func()) Handle {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at = at
+		ev.seq = s.seq
+		ev.fn = fn
+	} else {
+		ev = &event{at: at, seq: s.seq, fn: fn}
+	}
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 	if len(s.queue) > s.maxPending {
 		s.maxPending = len(s.queue)
 	}
-	return Handle{ev: ev, s: s}
+	return Handle{ev: ev, s: s, gen: ev.gen}
 }
 
 // After schedules fn to run delay cycles from now.
@@ -205,13 +267,16 @@ func (s *Scheduler) After(delay Time, fn func()) Handle {
 // whether an event was executed.
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
+		ev := s.queue.pop()
 		if ev.fn == nil { // cancelled
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
 		fn := ev.fn
-		ev.fn = nil
+		// Recycle before running fn: all fields are copied out, and fn
+		// itself may schedule new events that reuse this struct.
+		s.recycle(ev)
 		s.fired++
 		fn()
 		return true
