@@ -5,15 +5,25 @@
 //
 //	beaconsim [-n 1000] [-nb 110] [-na 10] [-p 0.2] [-tau 10] [-tauprime 2]
 //	          [-pd 0.9] [-m 8] [-wormhole] [-collude] [-seed 1]
+//	          [-cache] [-cache-dir DIR]
+//
+// -cache memoizes the run's result content-addressed by the full
+// configuration (including -seed): repeating an identical invocation
+// replays the stored result instead of simulating, and any flag change
+// recomputes. The cache directory is shared with 'figures -cache'.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"beaconsec/internal/analysis"
+	"beaconsec/internal/cache"
+	"beaconsec/internal/experiment"
 	"beaconsec/internal/revoke"
 	"beaconsec/internal/scenario"
 )
@@ -38,6 +48,8 @@ func run(args []string, out io.Writer) error {
 	wormhole := fs.Bool("wormhole", true, "install the paper's wormhole tunnel")
 	collude := fs.Bool("collude", true, "malicious beacons flood coordinated alerts")
 	seed := fs.Uint64("seed", 1, "random seed")
+	useCache := fs.Bool("cache", false, "memoize the run's result on disk (see -cache-dir)")
+	cacheDir := fs.String("cache-dir", filepath.Join("results", "cache"), "result cache directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +72,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	res, err := scenario.Run(cfg)
+	res, err := runMaybeCached(cfg, *useCache, *cacheDir, out)
 	if err != nil {
 		return err
 	}
@@ -84,4 +96,56 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "radio                %d transmissions, %d deliveries, %d collisions, %d request timeouts\n",
 		res.Medium.Transmissions, res.Medium.Deliveries, res.Medium.Collisions, res.Timeouts)
 	return nil
+}
+
+// runMaybeCached executes the simulation, memoized on disk when asked.
+// Both the hit and miss path decode the stored JSON, so cached and fresh
+// invocations print identical numbers by construction. The cached form
+// keeps only the exported result (the report's inputs); the node-level
+// accessors are not retained, which this command never uses.
+func runMaybeCached(cfg scenario.Config, useCache bool, dir string, out io.Writer) (*scenario.Result, error) {
+	if !useCache {
+		return scenario.Run(cfg)
+	}
+	c, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	// The full config — seeds included — addresses the entry: a single
+	// run's identity is every flag that shaped it.
+	key := cache.Fingerprint(cache.CodeSalt, experiment.EncodeKey("beaconsim", cfg))
+	data, hit, err := c.GetOrCompute(key, func() ([]byte, error) {
+		res, rerr := scenario.Run(cfg)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := new(scenario.Result)
+	if uerr := json.Unmarshal(data, res); uerr != nil {
+		// A stale-schema entry (result shape changed without a salt
+		// bump): recompute and overwrite rather than fail.
+		fresh, rerr := scenario.Run(cfg)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if data, rerr = json.Marshal(fresh); rerr != nil {
+			return nil, rerr
+		}
+		c.Put(key, data)
+		res = new(scenario.Result)
+		if uerr = json.Unmarshal(data, res); uerr != nil {
+			return nil, fmt.Errorf("cache: result does not round-trip: %w", uerr)
+		}
+		hit = false
+	}
+	if hit {
+		fmt.Fprintf(out, "cache                hit (%s)\n", dir)
+	} else {
+		fmt.Fprintf(out, "cache                miss, stored (%s)\n", dir)
+	}
+	return res, nil
 }

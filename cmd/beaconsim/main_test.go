@@ -40,3 +40,52 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestRunCachedReplayMatches runs the same configuration cold and warm
+// through -cache: the warm run must report a hit and print the same
+// numbers (only the cache status line differs).
+func TestRunCachedReplayMatches(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() string {
+		t.Helper()
+		var b strings.Builder
+		args := smallArgs("-p", "0.5", "-wormhole=false", "-collude=false",
+			"-cache", "-cache-dir", dir)
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	stripStatus := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "cache ") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+
+	cold := runOnce()
+	if !strings.Contains(cold, "cache                miss, stored") {
+		t.Fatalf("cold run did not report a miss:\n%s", cold)
+	}
+	warm := runOnce()
+	if !strings.Contains(warm, "cache                hit") {
+		t.Fatalf("warm run did not report a hit:\n%s", warm)
+	}
+	if stripStatus(cold) != stripStatus(warm) {
+		t.Fatalf("cached replay changed the report:\n%s\nvs\n%s", cold, warm)
+	}
+
+	// Any flag change must miss: same population, different seed.
+	var b strings.Builder
+	args := []string{"-n", "300", "-nb", "33", "-na", "3", "-seed", "3",
+		"-p", "0.5", "-wormhole=false", "-collude=false", "-cache", "-cache-dir", dir}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "miss, stored") {
+		t.Fatalf("seed change replayed a stale entry:\n%s", b.String())
+	}
+}

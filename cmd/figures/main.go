@@ -11,12 +11,18 @@
 //
 //	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
 //	        [-workers N] [-progress] [-json FILE]
+//	        [-cache] [-cache-dir DIR] [-cache-clear]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // -json writes every figure result — series, notes, and the aggregate
 // ScenarioMetrics (per-phase timings, packet/collision/filter counters)
 // — as one machine-readable JSON document ("-" for stdout). -cpuprofile
 // and -memprofile write pprof profiles of the whole regeneration.
+//
+// -cache memoizes simulation trials content-addressed under -cache-dir,
+// so a re-run recomputes only trials whose config, seed, or code salt
+// changed; figure output is byte-identical either way. -cache-clear
+// deletes the cache directory first (a from-scratch cold run).
 package main
 
 import (
@@ -32,7 +38,9 @@ import (
 	"sync"
 	"time"
 
+	"beaconsec/internal/cache"
 	"beaconsec/internal/experiment"
+	"beaconsec/internal/metrics"
 )
 
 func main() {
@@ -53,10 +61,35 @@ func run(args []string, out io.Writer) (err error) {
 	workers := fs.Int("workers", 0, "trial and figure concurrency (0 = all CPUs)")
 	progress := fs.Bool("progress", true, "print per-figure trial progress to stderr")
 	jsonOut := fs.String("json", "", "write results as JSON to FILE ('-' for stdout)")
+	useCache := fs.Bool("cache", false, "memoize simulation trials on disk (see -cache-dir)")
+	cacheDir := fs.String("cache-dir", filepath.Join("results", "cache"), "trial cache directory")
+	cacheClear := fs.Bool("cache-clear", false, "delete the trial cache before running")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate every destination directory up front: an unwritable -out
+	// or -cache-dir must fail in milliseconds with a clear message, not
+	// after minutes of simulation.
+	if *outDir != "" {
+		if err := ensureWritableDir(*outDir); err != nil {
+			return fmt.Errorf("output dir: %w", err)
+		}
+	}
+	if *cacheClear {
+		if err := os.RemoveAll(*cacheDir); err != nil {
+			return fmt.Errorf("cache dir: clear: %w", err)
+		}
+	}
+	var trialCache *cache.Cache
+	if *useCache {
+		c, cerr := cache.New(cache.Config{Dir: *cacheDir})
+		if cerr != nil {
+			return fmt.Errorf("cache dir: %w", cerr)
+		}
+		trialCache = c
 	}
 
 	// Both profiles are flushed by deferred closers so they survive
@@ -98,13 +131,7 @@ func run(args []string, out io.Writer) (err error) {
 			runners = append(runners, r)
 		}
 	}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			return err
-		}
-	}
-
-	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Cache: trialCache}
 	results, err := runAll(runners, opts, *progress)
 	if err != nil {
 		return err
@@ -130,8 +157,17 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
+	var cacheStats *cache.StatsSnapshot
+	if trialCache != nil {
+		s := trialCache.Stats()
+		cacheStats = &s
+		fmt.Fprintf(out, "cache: %d hits, %d misses (%.1f%% hit rate), %d stored, %.1f MB read, %.1f MB written\n",
+			s.Hits, s.Misses, 100*s.HitRate(), s.Stores,
+			float64(s.BytesRead)/1e6, float64(s.BytesWritten)/1e6)
+	}
+
 	if *jsonOut != "" {
-		doc := jsonDoc{Seed: *seed, Quick: *quick, Results: results}
+		doc := jsonDoc{Seed: *seed, Quick: *quick, Env: metrics.CaptureEnv(), Cache: cacheStats, Results: results}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err
@@ -166,12 +202,31 @@ func writeHeapProfile(path string) error {
 	return cerr
 }
 
-// jsonDoc is the -json export: the run parameters plus every figure
+// jsonDoc is the -json export: the run parameters, the machine they ran
+// on, the trial-cache tally (nil without -cache), plus every figure
 // result, including each simulation-backed figure's aggregate metrics.
 type jsonDoc struct {
-	Seed    uint64              `json:"seed"`
-	Quick   bool                `json:"quick"`
-	Results []experiment.Result `json:"results"`
+	Seed    uint64               `json:"seed"`
+	Quick   bool                 `json:"quick"`
+	Env     metrics.Env          `json:"env"`
+	Cache   *cache.StatsSnapshot `json:"cache,omitempty"`
+	Results []experiment.Result  `json:"results"`
+}
+
+// ensureWritableDir creates dir if needed and proves it is writable by
+// creating and removing a probe file; MkdirAll alone reports success on
+// an existing read-only directory.
+func ensureWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("%s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }
 
 // runAll executes the runners on a bounded pool (figure-level

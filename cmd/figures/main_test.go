@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"beaconsec/internal/harness"
 )
 
 // TestRunJSONExportParsesBack runs a simulation-backed figure with -json
@@ -184,5 +186,151 @@ func TestKnownIDsListsAll(t *testing.T) {
 		if !strings.Contains(ids, want) {
 			t.Errorf("knownIDs missing %s: %s", want, ids)
 		}
+	}
+}
+
+// blockedDir returns a path that cannot be created: its parent is a
+// regular file, which defeats MkdirAll for any privilege level (a
+// read-only directory would not stop root).
+func blockedDir(t *testing.T) string {
+	t.Helper()
+	parent := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(parent, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(parent, "dir")
+}
+
+// TestRunUnwritableOutFailsFast checks an unwritable -out dies with a
+// clear error before any simulation runs (the error must name the dir).
+func TestRunUnwritableOutFailsFast(t *testing.T) {
+	dir := blockedDir(t)
+	var b strings.Builder
+	err := run([]string{"-fig", "fig12", "-quick", "-progress=false", "-out", dir}, &b)
+	if err == nil {
+		t.Fatal("unwritable -out accepted")
+	}
+	if !strings.Contains(err.Error(), "output dir") {
+		t.Errorf("error does not identify the unwritable output dir: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Error("figures ran before the output dir was validated")
+	}
+}
+
+// TestRunUnwritableCacheDirFailsFast: same contract for -cache-dir.
+func TestRunUnwritableCacheDirFailsFast(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig", "fig12", "-quick", "-progress=false",
+		"-cache", "-cache-dir", blockedDir(t)}, &b)
+	if err == nil {
+		t.Fatal("unwritable -cache-dir accepted")
+	}
+	if !strings.Contains(err.Error(), "cache dir") {
+		t.Errorf("error does not identify the cache dir: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Error("figures ran before the cache dir was validated")
+	}
+}
+
+// TestRunOutCreatesMissingDir checks -out creates nested directories.
+func TestRunOutCreatesMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "figs")
+	var b strings.Builder
+	if err := run([]string{"-fig", "fig05", "-quick", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig05.csv")); err != nil {
+		t.Fatalf("output not written into created dir: %v", err)
+	}
+}
+
+// TestRunCacheWarmRun pins the end-to-end cache flow: a second -cache run
+// hits every trial, reports the hit rate on stdout, exports the tally in
+// -json, and produces byte-identical figure results.
+func TestRunCacheWarmRun(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	jsonPath := filepath.Join(t.TempDir(), "r.json")
+	runOnce := func() (string, jsonDoc) {
+		t.Helper()
+		var b strings.Builder
+		if err := run([]string{"-fig", "fig12", "-quick", "-progress=false",
+			"-cache", "-cache-dir", cacheDir, "-json", jsonPath}, &b); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc jsonDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), doc
+	}
+
+	_, cold := runOnce()
+	if cold.Cache == nil || cold.Cache.Misses == 0 {
+		t.Fatalf("cold run cache tally wrong: %+v", cold.Cache)
+	}
+	if cold.Env.NumCPU == 0 || cold.Env.GoVersion == "" {
+		t.Fatalf("env metadata missing: %+v", cold.Env)
+	}
+
+	out, warm := runOnce()
+	if warm.Cache == nil || warm.Cache.Hits == 0 || warm.Cache.HitRate() != 1 {
+		t.Fatalf("warm run should hit everything: %+v", warm.Cache)
+	}
+	if !strings.Contains(out, "hit rate") {
+		t.Errorf("no hit-rate summary on stdout:\n%s", out)
+	}
+
+	// Byte identity: the exported results (wall-clock timing aside) match.
+	stripJSON := func(doc jsonDoc) string {
+		for i := range doc.Results {
+			if doc.Results[i].Metrics != nil {
+				doc.Results[i].Metrics.Timing = harness.Timing{}
+			}
+		}
+		b, err := json.Marshal(doc.Results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if c, w := stripJSON(cold), stripJSON(warm); c != w {
+		t.Fatalf("warm results diverged from cold:\n%s\nvs\n%s", c, w)
+	}
+}
+
+// TestRunCacheClear checks -cache-clear empties the store: the run after
+// a clear is cold again.
+func TestRunCacheClear(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	jsonPath := filepath.Join(t.TempDir(), "r.json")
+	runWith := func(extra ...string) jsonDoc {
+		t.Helper()
+		args := append([]string{"-fig", "fig12", "-quick", "-progress=false",
+			"-cache", "-cache-dir", cacheDir, "-json", jsonPath}, extra...)
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc jsonDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	runWith()
+	cleared := runWith("-cache-clear")
+	if cleared.Cache.Hits != 0 {
+		t.Fatalf("-cache-clear did not empty the store: %+v", cleared.Cache)
 	}
 }

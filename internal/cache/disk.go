@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+)
+
+// On-disk entry layout (all integers little-endian):
+//
+//	offset  0  magic "BSECCH01" (8 bytes) — format version
+//	offset  8  key (32 bytes) — must match the addressed key
+//	offset 40  payload length (8 bytes)
+//	offset 48  SHA-256 of payload (32 bytes)
+//	offset 80  payload
+//
+// A file is valid only if every field checks out AND the file ends
+// exactly at the declared payload length: truncation, trailing garbage,
+// bit flips, and format-version changes all read as a miss.
+var diskMagic = [8]byte{'B', 'S', 'E', 'C', 'C', 'H', '0', '1'}
+
+const diskHeaderLen = 8 + 32 + 8 + 32
+
+// entryPath shards entries by the first key byte so no single directory
+// accumulates the whole store.
+func (c *Cache) entryPath(key Key) string {
+	hex := key.String()
+	return filepath.Join(c.dir, hex[:2], hex+".bsc")
+}
+
+// diskGet reads and validates the entry for key. Invalid entries are
+// counted, best-effort deleted, and reported as a miss — never an error.
+func (c *Cache) diskGet(key Key) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeEntry(key, raw)
+	if !ok {
+		c.stats.CorruptEntries.Inc()
+		os.Remove(path)
+		return nil, false
+	}
+	c.stats.BytesRead.Add(uint64(len(raw)))
+	return payload, true
+}
+
+// decodeEntry validates one raw entry file against the key it was
+// addressed by, returning the payload.
+func decodeEntry(key Key, raw []byte) ([]byte, bool) {
+	if len(raw) < diskHeaderLen {
+		return nil, false
+	}
+	if !bytes.Equal(raw[:8], diskMagic[:]) {
+		return nil, false
+	}
+	if !bytes.Equal(raw[8:40], key[:]) {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[40:48])
+	payload := raw[diskHeaderLen:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(raw[48:80], sum[:]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// encodeEntry renders the entry file for key/payload.
+func encodeEntry(key Key, payload []byte) []byte {
+	raw := make([]byte, diskHeaderLen+len(payload))
+	copy(raw[:8], diskMagic[:])
+	copy(raw[8:40], key[:])
+	binary.LittleEndian.PutUint64(raw[40:48], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(raw[48:80], sum[:])
+	copy(raw[diskHeaderLen:], payload)
+	return raw
+}
+
+// diskPut writes the entry atomically: temp file in the final directory,
+// fsync, rename. A failure at any step counts a WriteError and leaves
+// either the old entry or nothing — never a partial file under the final
+// name.
+func (c *Cache) diskPut(key Key, payload []byte) {
+	if c.dir == "" {
+		return
+	}
+	path := c.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.stats.WriteErrors.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		c.stats.WriteErrors.Inc()
+		return
+	}
+	raw := encodeEntry(key, payload)
+	_, werr := tmp.Write(raw)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		c.stats.WriteErrors.Inc()
+		return
+	}
+	c.stats.BytesWritten.Add(uint64(len(raw)))
+}

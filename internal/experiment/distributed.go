@@ -27,9 +27,26 @@ func ExtraDistributed(o Options) (Result, error) {
 
 	// One job runs the centralized and distributed variants on
 	// identical seeds (paired), so the curves differ in the revocation
-	// architecture, not the topology draw.
+	// architecture, not the topology draw. Exported fields: the samples
+	// serialize through the cache codec.
 	type distSample struct {
-		central, centralFP, local, localFrame float64
+		Central, CentralFP, Local, LocalFrame float64
+	}
+	cfgAt := func(point int, distributed bool) scenario.Config {
+		cfg := scenario.Paper()
+		cfg.Strategy = analysis.StrategyForP(ps[point])
+		cfg.Collude = true
+		cfg.Distributed = distributed
+		cfg.Wormholes = nil
+		cfg.CalibrationTrials = 500
+		if o.Quick {
+			quickDeploy(&cfg)
+		}
+		return cfg
+	}
+	protos := make([]scenario.Config, 0, 2*len(ps))
+	for p := range ps {
+		protos = append(protos, cfgAt(p, false), cfgAt(p, true))
 	}
 	rows, err := harness.Sweep(context.Background(), harness.Spec[distSample]{
 		Label:    "extra-distributed",
@@ -38,30 +55,25 @@ func ExtraDistributed(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Cache:    o.Cache,
+		Key:      sweepKey("extra-distributed", trials, protos),
+		Codec:    harness.JSONCodec[distSample](),
 		Run: func(_ context.Context, job harness.Job) (distSample, error) {
 			var s distSample
 			for _, distributed := range []bool{false, true} {
-				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
-				cfg.Collude = true
-				cfg.Distributed = distributed
-				cfg.Wormholes = nil
+				cfg := cfgAt(job.Point, distributed)
 				cfg.Seed = job.Seed
 				cfg.Deploy.Seed = job.TrialSeed
-				cfg.CalibrationTrials = 500
-				if o.Quick {
-					quickDeploy(&cfg)
-				}
 				res, err := scenario.Run(cfg)
 				if err != nil {
 					return s, err
 				}
 				if distributed {
-					s.local = res.LocalCoverage
-					s.localFrame = res.LocalFalseRevocations
+					s.Local = res.LocalCoverage
+					s.LocalFrame = res.LocalFalseRevocations
 				} else {
-					s.central = res.DetectionRate
-					s.centralFP = res.FalsePositiveRate
+					s.Central = res.DetectionRate
+					s.CentralFP = res.FalsePositiveRate
 				}
 			}
 			return s, nil
@@ -76,10 +88,10 @@ func ExtraDistributed(o Options) (Result, error) {
 	var centralFP, localFrame float64
 	for i, row := range rows {
 		for _, s := range row {
-			central[i] += s.central
-			local[i] += s.local
-			centralFP += s.centralFP
-			localFrame += s.localFrame
+			central[i] += s.Central
+			local[i] += s.Local
+			centralFP += s.CentralFP
+			localFrame += s.LocalFrame
 		}
 		central[i] /= float64(trials)
 		local[i] /= float64(trials)

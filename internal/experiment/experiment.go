@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"beaconsec/internal/analysis"
+	"beaconsec/internal/cache"
 	"beaconsec/internal/deploy"
 	"beaconsec/internal/harness"
 	"beaconsec/internal/scenario"
@@ -31,6 +32,12 @@ type Options struct {
 	// simulation-backed runners (done jobs, total jobs, elapsed time).
 	// Invocations are serialized per runner.
 	Progress func(done, total int, elapsed time.Duration)
+	// Cache, when non-nil, memoizes simulation trial results across
+	// runs and processes, content-addressed by canonical config
+	// encoding plus derived seeds; identical concurrent trials (figures
+	// sharing a sweep, like fig12/fig13) compute once. Figure results
+	// are byte-identical with or without it.
+	Cache *cache.Cache
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeKey builds the canonical cache-key material for a sweep: a kind
+// tag (name the sweep shape and bump a /vN suffix on incompatible key
+// layout changes) plus the deterministic JSON encoding of cfg — struct
+// fields in declaration order, map keys sorted, floats in shortest
+// exact form. cfg must be the fully resolved configuration the sweep's
+// Run closure derives its per-job configs from, with per-job seeds
+// zeroed (the harness's job fingerprint addresses those): any semantic
+// config change then changes the key and misses the cache.
+//
+// Behavior changes that live in code rather than config values — a
+// different formula behind the same Config — are invisible to EncodeKey
+// by construction; those must bump cache.CodeSalt.
+func EncodeKey(kind string, cfg any) []byte {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Config types are plain exported data; a marshal failure is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("experiment: EncodeKey(%s): %v", kind, err))
+	}
+	key := make([]byte, 0, len(kind)+1+len(b))
+	key = append(key, kind...)
+	key = append(key, 0)
+	return append(key, b...)
+}

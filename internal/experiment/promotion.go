@@ -49,6 +49,26 @@ func ExtraPromotion(o Options) (Result, error) {
 		Field:        field,
 	}
 
+	// The cache key captures the full experiment surface: the iterative
+	// localization config plus the variant matrix (which otherwise
+	// lives only in code).
+	variantKey := make([]struct {
+		Label         string
+		Liars, Detect bool
+	}, len(promotionVariants))
+	for i, v := range promotionVariants {
+		variantKey[i] = struct {
+			Label         string
+			Liars, Detect bool
+		}{v.label, v.liars, v.detect}
+	}
+	key := EncodeKey("extra-promotion", struct {
+		Nodes, Trials int
+		Field         geo.Rect
+		Cfg           localization.IterativeConfig
+		Variants      any
+	}{nodes, trials, field, cfg, variantKey})
+
 	// One job runs all three variants of one trial from the same
 	// per-trial seed (paired comparison, as promotionVariants notes).
 	rows, err := harness.Sweep(context.Background(), harness.Spec[[3][]float64]{
@@ -58,6 +78,9 @@ func ExtraPromotion(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Cache:    o.Cache,
+		Key:      key,
+		Codec:    harness.JSONCodec[[3][]float64](),
 		Run: func(_ context.Context, job harness.Job) ([3][]float64, error) {
 			var tiers [3][]float64
 			for vi, v := range promotionVariants {

@@ -28,8 +28,28 @@ func ExtraRouting(o Options) (Result, error) {
 	}
 
 	// One job routes the defended and undefended variants on identical
-	// seeds and source/destination pairs (paired comparison).
-	type deliverySample struct{ defended, undefended float64 }
+	// seeds and source/destination pairs (paired comparison). Exported
+	// fields: the samples serialize through the cache codec.
+	type deliverySample struct{ Defended, Undefended float64 }
+	cfgAt := func(point int, defended bool) scenario.Config {
+		cfg := scenario.Paper()
+		cfg.Strategy = analysis.StrategyForP(ps[point])
+		cfg.Collude = false
+		cfg.CalibrationTrials = 500
+		if o.Quick {
+			quickDeploy(&cfg)
+		}
+		if !defended {
+			cfg.DisableRTTFilter = true
+			cfg.DisableWormholeFilter = true
+			cfg.Revoke.AlertThreshold = 1 << 20
+		}
+		return cfg
+	}
+	protos := make([]scenario.Config, 0, 2*len(ps))
+	for p := range ps {
+		protos = append(protos, cfgAt(p, true), cfgAt(p, false))
+	}
 	points, err := harness.SweepReduce(context.Background(), harness.Spec[deliverySample]{
 		Label:    "extra-routing",
 		Points:   harness.FloatLabels("P", ps),
@@ -37,22 +57,14 @@ func ExtraRouting(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Cache:    o.Cache,
+		Key:      sweepKey("extra-routing", trials, protos),
+		Codec:    harness.JSONCodec[deliverySample](),
 		Run: func(_ context.Context, job harness.Job) (deliverySample, error) {
 			runVariant := func(defended bool) (float64, error) {
-				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
-				cfg.Collude = false
-				cfg.CalibrationTrials = 500
+				cfg := cfgAt(job.Point, defended)
 				cfg.Seed = job.Seed
 				cfg.Deploy.Seed = job.TrialSeed
-				if o.Quick {
-					quickDeploy(&cfg)
-				}
-				if !defended {
-					cfg.DisableRTTFilter = true
-					cfg.DisableWormholeFilter = true
-					cfg.Revoke.AlertThreshold = 1 << 20
-				}
 				res, err := scenario.Run(cfg)
 				if err != nil {
 					return 0, err
@@ -61,10 +73,10 @@ func ExtraRouting(o Options) (Result, error) {
 			}
 			var s deliverySample
 			var err error
-			if s.defended, err = runVariant(true); err != nil {
+			if s.Defended, err = runVariant(true); err != nil {
 				return s, err
 			}
-			if s.undefended, err = runVariant(false); err != nil {
+			if s.Undefended, err = runVariant(false); err != nil {
 				return s, err
 			}
 			return s, nil
@@ -72,11 +84,11 @@ func ExtraRouting(o Options) (Result, error) {
 	}, func(_ int, trials []deliverySample) deliverySample {
 		var mean deliverySample
 		for _, s := range trials {
-			mean.defended += s.defended
-			mean.undefended += s.undefended
+			mean.Defended += s.Defended
+			mean.Undefended += s.Undefended
 		}
-		mean.defended /= float64(len(trials))
-		mean.undefended /= float64(len(trials))
+		mean.Defended /= float64(len(trials))
+		mean.Undefended /= float64(len(trials))
 		return mean
 	})
 	if err != nil {
@@ -86,7 +98,7 @@ func ExtraRouting(o Options) (Result, error) {
 	defY := make([]float64, len(ps))
 	undefY := make([]float64, len(ps))
 	for i, s := range points {
-		defY[i], undefY[i] = s.defended, s.undefended
+		defY[i], undefY[i] = s.Defended, s.Undefended
 	}
 	res := Result{
 		ID:     "extra-routing",

@@ -2,9 +2,11 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"beaconsec/internal/analysis"
+	"beaconsec/internal/cache"
 	"beaconsec/internal/core"
 	"beaconsec/internal/geo"
 	"beaconsec/internal/harness"
@@ -60,27 +62,93 @@ func quickDeploy(c *scenario.Config) {
 
 // calThreshold runs the shared RTT calibration: the threshold is a
 // deployment constant, not per-run state, so it is measured once per
-// figure and pinned into every scenario.
+// figure and pinned into every scenario. With a cache, the measurement
+// is memoized by (trials, seed) — and single-flighted, so the
+// concurrently regenerating figures that all calibrate with the same
+// parameters pay for one calibration between them.
 func calThreshold(o Options) (float64, error) {
 	calTrials := 2000
 	if o.Quick {
 		calTrials = 500
 	}
-	cal, err := core.CalibrateRTTWorkers(calTrials, phy.DefaultJitter(), o.Seed^0xC0FFEE, o.Workers)
+	seed := o.Seed ^ 0xC0FFEE
+	compute := func() (float64, error) {
+		cal, err := core.CalibrateRTTWorkers(calTrials, phy.DefaultJitter(), seed, o.Workers)
+		if err != nil {
+			return 0, err
+		}
+		return cal.Threshold(), nil
+	}
+	if o.Cache == nil {
+		return compute()
+	}
+	key := cache.Fingerprint(cache.CodeSalt, EncodeKey("rtt-calibration", struct {
+		Trials int
+		Seed   uint64
+	}{calTrials, seed}))
+	data, _, err := o.Cache.GetOrCompute(key, func() ([]byte, error) {
+		th, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(th)
+	})
 	if err != nil {
 		return 0, err
 	}
-	return cal.Threshold(), nil
+	var th float64
+	if err := json.Unmarshal(data, &th); err != nil {
+		return compute() // schema drift without a salt bump: recompute
+	}
+	return th, nil
+}
+
+// sweepKey builds the canonical cache key for a scenario sweep from its
+// fully resolved per-point configs. Seeds are zeroed in the encoding —
+// the harness's job fingerprint addresses them — so the key captures
+// exactly the configuration half of a trial's identity.
+func sweepKey(kind string, trials int, protos []scenario.Config) []byte {
+	for i := range protos {
+		protos[i].Seed = 0
+		protos[i].Deploy.Seed = 0
+	}
+	return EncodeKey(kind, struct {
+		Trials  int
+		Configs []scenario.Config
+	}{trials, protos})
 }
 
 // simSweep runs the paper-scale scenario across a P grid on the trial
 // harness and returns the per-P averaged results plus the sweep's
 // aggregate instrumentation. The sweep label keys the seed streams, so
-// two figures with the same root seed never replay each other's trials.
+// two figures with the same root seed never replay each other's trials
+// — and conversely, figures that deliberately share a label (fig12 and
+// fig13 both consume the "detect" sweep) address the same cached
+// trials.
 func simSweep(o Options, label string, ps []float64, trials int, mutate func(*scenario.Config)) ([]*scenario.Result, *RunMetrics, error) {
 	threshold, err := calThreshold(o)
 	if err != nil {
 		return nil, nil, err
+	}
+	// cfgAt resolves the full per-point configuration; Run stamps only
+	// the job seeds on top. Keeping key construction and execution on
+	// one config builder means anything mutate can express is in the
+	// cache key.
+	cfgAt := func(point int) scenario.Config {
+		cfg := scenario.Paper()
+		cfg.Strategy = analysis.StrategyForP(ps[point])
+		cfg.RTTThreshold = threshold
+		if o.Quick {
+			quickDeploy(&cfg)
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return cfg
+	}
+	protos := make([]scenario.Config, len(ps))
+	for p := range ps {
+		protos[p] = cfgAt(p)
 	}
 	timing := harness.NewTiming()
 	sims, err := harness.SweepReduce(context.Background(), harness.Spec[*scenario.Result]{
@@ -91,21 +159,16 @@ func simSweep(o Options, label string, ps []float64, trials int, mutate func(*sc
 		Workers:  o.Workers,
 		Progress: o.progress(),
 		Timing:   timing,
+		Cache:    o.Cache,
+		Key:      sweepKey("simSweep", trials, protos),
+		Codec:    harness.JSONCodec[*scenario.Result](),
 		Run: func(_ context.Context, job harness.Job) (*scenario.Result, error) {
-			cfg := scenario.Paper()
-			cfg.Strategy = analysis.StrategyForP(ps[job.Point])
+			cfg := cfgAt(job.Point)
 			cfg.Seed = job.Seed
 			// The deployment is shared across sweep points (common
 			// random numbers): only the trial index seeds placement, so
 			// curves differ in the swept parameter, not the topology.
 			cfg.Deploy.Seed = job.TrialSeed
-			cfg.RTTThreshold = threshold
-			if o.Quick {
-				quickDeploy(&cfg)
-			}
-			if mutate != nil {
-				mutate(&cfg)
-			}
 			return scenario.Run(cfg)
 		},
 	}, meanScenario)
@@ -155,11 +218,22 @@ func sweepGrid(o Options) ([]float64, int) {
 	return []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5}, 3
 }
 
+// detectionSweep is the simulation sweep behind Figures 12 and 13: the
+// paper-scale scenario across the P grid with colluding reports off.
+// Both figures read different columns of the same runs, so they share
+// one sweep label ("detect"): their trial fingerprints coincide, and
+// with a cache the two concurrently regenerating figures single-flight
+// to one set of simulations instead of two.
+func detectionSweep(o Options) ([]float64, []*scenario.Result, *RunMetrics, error) {
+	ps, trials := sweepGrid(o)
+	sims, rm, err := simSweep(o, "detect", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	return ps, sims, rm, err
+}
+
 // Fig12 regenerates Figure 12: revocation detection rate vs P, simulation
 // against theory, at (τ=10, τ′=2), m=8, p_d=0.9, one analog wormhole.
 func Fig12(o Options) (Result, error) {
-	ps, trials := sweepGrid(o)
-	sims, rm, err := simSweep(o, "fig12", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	ps, sims, rm, err := detectionSweep(o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -188,8 +262,7 @@ func Fig12(o Options) (Result, error) {
 // Fig13 regenerates Figure 13: N′ (affected non-beacon nodes per
 // malicious beacon) vs P, simulation against theory.
 func Fig13(o Options) (Result, error) {
-	ps, trials := sweepGrid(o)
-	sims, rm, err := simSweep(o, "fig13", ps, trials, func(c *scenario.Config) { c.Collude = false })
+	ps, sims, rm, err := detectionSweep(o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -251,9 +324,32 @@ func Fig14(o Options) (Result, error) {
 		}
 	}
 
+	// rocSample's fields are exported so the sweep's results serialize
+	// through the cache codec.
 	type rocSample struct {
-		det, fpr float64
-		metrics  scenario.Metrics
+		Det, FPR float64
+		Metrics  scenario.Metrics
+	}
+	cfgAt := func(point int) scenario.Config {
+		c := combos[point]
+		cfg := scenario.Paper()
+		cfg.Deploy.Na = c.na
+		cfg.Revoke = revoke.Config{ReportCap: c.tau, AlertThreshold: c.tauP}
+		cfg.RTTThreshold = threshold
+		if o.Quick {
+			quickDeploy(&cfg)
+			cfg.Deploy.Na = min(c.na, 5)
+		}
+		// Attacker picks P maximizing N' for these thresholds
+		// (paper's assumption).
+		pop := analysis.Population{N: cfg.Deploy.N, Nb: cfg.Deploy.Nb, Na: cfg.Deploy.Na}
+		_, pStar := analysis.MaxAffected(cfg.Deploy.DetectingIDs, c.tauP, 68, pop)
+		cfg.Strategy = analysis.StrategyForP(pStar)
+		return cfg
+	}
+	protos := make([]scenario.Config, len(combos))
+	for p := range combos {
+		protos[p] = cfgAt(p)
 	}
 	timing := harness.NewTiming()
 	points, err := harness.SweepReduce(context.Background(), harness.Spec[rocSample]{
@@ -264,38 +360,28 @@ func Fig14(o Options) (Result, error) {
 		Workers:  o.Workers,
 		Progress: o.progress(),
 		Timing:   timing,
+		Cache:    o.Cache,
+		Key:      sweepKey("fig14-roc", trials, protos),
+		Codec:    harness.JSONCodec[rocSample](),
 		Run: func(_ context.Context, job harness.Job) (rocSample, error) {
-			c := combos[job.Point]
-			cfg := scenario.Paper()
-			cfg.Deploy.Na = c.na
-			cfg.Revoke = revoke.Config{ReportCap: c.tau, AlertThreshold: c.tauP}
-			cfg.RTTThreshold = threshold
+			cfg := cfgAt(job.Point)
 			cfg.Seed = job.Seed
 			cfg.Deploy.Seed = job.TrialSeed
-			if o.Quick {
-				quickDeploy(&cfg)
-				cfg.Deploy.Na = min(c.na, 5)
-			}
-			// Attacker picks P maximizing N' for these thresholds
-			// (paper's assumption).
-			pop := analysis.Population{N: cfg.Deploy.N, Nb: cfg.Deploy.Nb, Na: cfg.Deploy.Na}
-			_, pStar := analysis.MaxAffected(cfg.Deploy.DetectingIDs, c.tauP, 68, pop)
-			cfg.Strategy = analysis.StrategyForP(pStar)
 			r, err := scenario.Run(cfg)
 			if err != nil {
 				return rocSample{}, err
 			}
-			return rocSample{det: r.DetectionRate, fpr: r.FalsePositiveRate, metrics: r.Metrics}, nil
+			return rocSample{Det: r.DetectionRate, FPR: r.FalsePositiveRate, Metrics: r.Metrics}, nil
 		},
 	}, func(_ int, trials []rocSample) rocSample {
 		var mean rocSample
 		for _, s := range trials {
-			mean.det += s.det
-			mean.fpr += s.fpr
-			mean.metrics.Merge(s.metrics)
+			mean.Det += s.Det
+			mean.FPR += s.FPR
+			mean.Metrics.Merge(s.Metrics)
 		}
-		mean.det /= float64(len(trials))
-		mean.fpr /= float64(len(trials))
+		mean.Det /= float64(len(trials))
+		mean.FPR /= float64(len(trials))
 		return mean
 	})
 	if err != nil {
@@ -303,7 +389,7 @@ func Fig14(o Options) (Result, error) {
 	}
 	rm := &RunMetrics{Timing: *timing}
 	for _, pt := range points {
-		rm.Scenario.Merge(pt.metrics)
+		rm.Scenario.Merge(pt.Metrics)
 	}
 
 	res := Result{
@@ -316,8 +402,8 @@ func Fig14(o Options) (Result, error) {
 	for i := 0; i < len(combos); i += len(taus) {
 		var xs, ys []float64
 		for j := i; j < i+len(taus); j++ {
-			xs = append(xs, points[j].fpr)
-			ys = append(ys, points[j].det)
+			xs = append(xs, points[j].FPR)
+			ys = append(ys, points[j].Det)
 		}
 		res.Series = append(res.Series, textplot.Series{
 			Label:   fmt.Sprintf("Na=%d,tau'=%d", combos[i].na, combos[i].tauP),
@@ -344,8 +430,29 @@ func ExtraLocalization(o Options) (Result, error) {
 	}
 	// One job runs the defended and undefended variants on identical
 	// seeds — a paired design, so the comparison is not smeared by
-	// topology variance between the two curves.
-	type locSample struct{ defended, undefended float64 }
+	// topology variance between the two curves. Exported fields: the
+	// samples serialize through the cache codec.
+	type locSample struct{ Defended, Undefended float64 }
+	cfgAt := func(point int, defended bool) scenario.Config {
+		cfg := scenario.Paper()
+		cfg.Strategy = analysis.StrategyForP(ps[point])
+		cfg.Collude = false
+		cfg.CalibrationTrials = 500
+		if o.Quick {
+			quickDeploy(&cfg)
+		}
+		if !defended {
+			cfg.DisableRTTFilter = true
+			cfg.DisableWormholeFilter = true
+			// An absurd alert threshold disables revocation.
+			cfg.Revoke.AlertThreshold = 1 << 20
+		}
+		return cfg
+	}
+	protos := make([]scenario.Config, 0, 2*len(ps))
+	for p := range ps {
+		protos = append(protos, cfgAt(p, true), cfgAt(p, false))
+	}
 	points, err := harness.SweepReduce(context.Background(), harness.Spec[locSample]{
 		Label:    "extra-localization",
 		Points:   harness.FloatLabels("P", ps),
@@ -353,23 +460,14 @@ func ExtraLocalization(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Cache:    o.Cache,
+		Key:      sweepKey("extra-localization", trials, protos),
+		Codec:    harness.JSONCodec[locSample](),
 		Run: func(_ context.Context, job harness.Job) (locSample, error) {
 			runVariant := func(defended bool) (float64, error) {
-				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(ps[job.Point])
-				cfg.Collude = false
+				cfg := cfgAt(job.Point, defended)
 				cfg.Seed = job.Seed
 				cfg.Deploy.Seed = job.TrialSeed
-				cfg.CalibrationTrials = 500
-				if o.Quick {
-					quickDeploy(&cfg)
-				}
-				if !defended {
-					cfg.DisableRTTFilter = true
-					cfg.DisableWormholeFilter = true
-					// An absurd alert threshold disables revocation.
-					cfg.Revoke.AlertThreshold = 1 << 20
-				}
 				r, err := scenario.Run(cfg)
 				if err != nil {
 					return 0, err
@@ -378,10 +476,10 @@ func ExtraLocalization(o Options) (Result, error) {
 			}
 			var s locSample
 			var err error
-			if s.defended, err = runVariant(true); err != nil {
+			if s.Defended, err = runVariant(true); err != nil {
 				return s, err
 			}
-			if s.undefended, err = runVariant(false); err != nil {
+			if s.Undefended, err = runVariant(false); err != nil {
 				return s, err
 			}
 			return s, nil
@@ -389,11 +487,11 @@ func ExtraLocalization(o Options) (Result, error) {
 	}, func(_ int, trials []locSample) locSample {
 		var mean locSample
 		for _, s := range trials {
-			mean.defended += s.defended
-			mean.undefended += s.undefended
+			mean.Defended += s.Defended
+			mean.Undefended += s.Undefended
 		}
-		mean.defended /= float64(len(trials))
-		mean.undefended /= float64(len(trials))
+		mean.Defended /= float64(len(trials))
+		mean.Undefended /= float64(len(trials))
 		return mean
 	})
 	if err != nil {
@@ -403,7 +501,7 @@ func ExtraLocalization(o Options) (Result, error) {
 	defended := make([]float64, len(ps))
 	undefended := make([]float64, len(ps))
 	for i, s := range points {
-		defended[i], undefended[i] = s.defended, s.undefended
+		defended[i], undefended[i] = s.Defended, s.Undefended
 	}
 	res := Result{
 		ID:     "extra-localization",
@@ -439,6 +537,31 @@ func ExtraAblation(o Options) (Result, error) {
 		{"RTT filter off", func(c *scenario.Config) { c.DisableRTTFilter = true }},
 		{"wormhole detector off", func(c *scenario.Config) { c.DisableWormholeFilter = true }},
 	}
+	cfgFor := func(vi int) scenario.Config {
+		cfg := scenario.Paper()
+		cfg.Strategy = analysis.StrategyForP(0) // benign-behaving compromised nodes
+		cfg.Collude = false
+		cfg.CalibrationTrials = 500
+		if o.Quick {
+			quickDeploy(&cfg)
+			cfg.Wormholes = []scenario.WormholeSpec{{
+				A: geo.Point{X: 100, Y: 100}, B: geo.Point{X: 450, Y: 400}, Latency: 2,
+			}}
+		}
+		// Blanket replay attackers to stress the RTT filter.
+		w := cfg.Deploy.Field.Width()
+		for x := w / 6; x < w; x += w / 3 {
+			for y := w / 6; y < w; y += w / 3 {
+				cfg.ReplayAttackers = append(cfg.ReplayAttackers, geo.Point{X: x, Y: y})
+			}
+		}
+		variants[vi].mut(&cfg)
+		return cfg
+	}
+	protos := make([]scenario.Config, len(variants))
+	for vi := range variants {
+		protos[vi] = cfgFor(vi)
+	}
 	// Each job runs all three variants on identical seeds (paired), so
 	// the ablation differences come from the disabled filter alone.
 	rows, err := harness.Sweep(context.Background(), harness.Spec[[3]float64]{
@@ -448,29 +571,15 @@ func ExtraAblation(o Options) (Result, error) {
 		Seed:     o.Seed,
 		Workers:  o.Workers,
 		Progress: o.progress(),
+		Cache:    o.Cache,
+		Key:      sweepKey("extra-ablation", trials, protos),
+		Codec:    harness.JSONCodec[[3]float64](),
 		Run: func(_ context.Context, job harness.Job) ([3]float64, error) {
 			var alerts [3]float64
-			for vi, v := range variants {
-				cfg := scenario.Paper()
-				cfg.Strategy = analysis.StrategyForP(0) // benign-behaving compromised nodes
-				cfg.Collude = false
+			for vi := range variants {
+				cfg := cfgFor(vi)
 				cfg.Seed = job.Seed
 				cfg.Deploy.Seed = job.TrialSeed
-				cfg.CalibrationTrials = 500
-				if o.Quick {
-					quickDeploy(&cfg)
-					cfg.Wormholes = []scenario.WormholeSpec{{
-						A: geo.Point{X: 100, Y: 100}, B: geo.Point{X: 450, Y: 400}, Latency: 2,
-					}}
-				}
-				// Blanket replay attackers to stress the RTT filter.
-				w := cfg.Deploy.Field.Width()
-				for x := w / 6; x < w; x += w / 3 {
-					for y := w / 6; y < w; y += w / 3 {
-						cfg.ReplayAttackers = append(cfg.ReplayAttackers, geo.Point{X: x, Y: y})
-					}
-				}
-				v.mut(&cfg)
 				r, err := scenario.Run(cfg)
 				if err != nil {
 					return alerts, err

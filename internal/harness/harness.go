@@ -21,16 +21,26 @@
 //   - Error propagation. The first job error cancels the sweep's
 //     context, stops job dispatch, and is returned to the caller —
 //     experiments report failures instead of panicking.
+//   - Memoization. With Spec.Cache set, each job's result is
+//     content-addressed by its config key and derived seeds
+//     (JobFingerprint) and replayed from the cache instead of
+//     recomputed; identical concurrent jobs single-flight to one
+//     computation. Determinism makes this sound: a fingerprint's
+//     result never changes, so warm sweeps are byte-identical to
+//     cold ones.
 package harness
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"beaconsec/internal/cache"
 	"beaconsec/internal/metrics"
 	"beaconsec/internal/rng"
 )
@@ -47,14 +57,27 @@ type Timing struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// JobsPerSec is Jobs / WallSeconds.
 	JobsPerSec float64 `json:"jobs_per_sec"`
+	// CacheHits / CacheMisses split the jobs by how they were satisfied
+	// when Spec.Cache is set: a hit replayed a stored result (memory,
+	// disk, or a shared in-flight computation), a miss ran the
+	// simulation. Both stay zero with caching disabled.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// Env is the execution environment the sweep ran in. Wall-clock
+	// numbers are not comparable without it (a 1-vCPU container shows
+	// serial ≈ parallel by construction).
+	Env metrics.Env `json:"env"`
 	// JobSeconds is the per-job latency distribution, in seconds.
 	JobSeconds *metrics.Histogram `json:"job_seconds,omitempty"`
 }
 
 // NewTiming returns a Timing with a latency histogram spanning 100µs to
-// ~27min in geometric buckets.
+// ~27min in geometric buckets, stamped with the current environment.
 func NewTiming() *Timing {
-	return &Timing{JobSeconds: metrics.NewHistogram(metrics.ExpBounds(1e-4, 2, 24)...)}
+	return &Timing{
+		Env:        metrics.CaptureEnv(),
+		JobSeconds: metrics.NewHistogram(metrics.ExpBounds(1e-4, 2, 24)...),
+	}
 }
 
 // observe records one job's wall duration. Callers must serialize (Sweep
@@ -65,6 +88,19 @@ func (t *Timing) observe(d time.Duration) {
 	}
 	t.Jobs++
 	t.JobSeconds.Observe(d.Seconds())
+}
+
+// observeCache records one cached-sweep job's hit/miss outcome. Callers
+// must serialize, like observe.
+func (t *Timing) observeCache(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.CacheHits++
+	} else {
+		t.CacheMisses++
+	}
 }
 
 // finish stamps the sweep's total wall time and derives throughput.
@@ -129,6 +165,103 @@ type Spec[R any] struct {
 	// Timing, when non-nil, collects the sweep's wall-clock profile
 	// (per-job latency, throughput). nil disables collection.
 	Timing *Timing
+
+	// Cache, when non-nil, memoizes per-job results across sweeps and
+	// processes, content-addressed by (cache.CodeSalt, Key, point label,
+	// job seeds). Identical in-flight jobs — two concurrent sweeps over
+	// the same grid — are single-flighted to one computation. Requires
+	// Key and Codec; with Cache set, every result (hit or miss) passes
+	// through Codec, so cold and warm sweeps are byte-identical by
+	// construction.
+	Cache *cache.Cache
+	// Key is the canonical, versioned encoding of every Run input the
+	// job seeds do not already capture — i.e. the experiment
+	// configuration Run closes over. Any semantic config change must
+	// change these bytes, or the cache serves stale results.
+	Key []byte
+	// Codec serializes R for cache storage. JSONCodec[R]() fits any R
+	// whose meaningful state is exported fields of JSON-exact types.
+	Codec Codec[R]
+}
+
+// Codec converts sweep results to and from cache entry bytes. Unmarshal
+// ∘ Marshal must reproduce every field downstream aggregation reads —
+// the cache serves decoded entries in place of fresh results.
+type Codec[R any] interface {
+	Marshal(r R) ([]byte, error)
+	Unmarshal(data []byte) (R, error)
+}
+
+// JSONCodec returns the encoding/json-backed Codec. encoding/json
+// round-trips exported fields of finite floats, integers, strings,
+// slices, and structs exactly, which covers every experiment result
+// type in this repository.
+func JSONCodec[R any]() Codec[R] { return jsonCodec[R]{} }
+
+type jsonCodec[R any] struct{}
+
+func (jsonCodec[R]) Marshal(r R) ([]byte, error) { return json.Marshal(r) }
+
+func (jsonCodec[R]) Unmarshal(data []byte) (R, error) {
+	var r R
+	err := json.Unmarshal(data, &r)
+	return r, err
+}
+
+// JobFingerprint is the content address of one job's result: the
+// code-version salt, the sweep's canonical config key, and the job's
+// grid identity (point label, trial index, derived seeds). Exported so
+// tests can pin the construction independently of Sweep.
+func JobFingerprint(specKey []byte, pointLabel string, job Job) cache.Key {
+	var grid [24]byte
+	binary.LittleEndian.PutUint64(grid[0:8], job.Seed)
+	binary.LittleEndian.PutUint64(grid[8:16], job.TrialSeed)
+	binary.LittleEndian.PutUint64(grid[16:24], uint64(job.Trial))
+	return cache.Fingerprint(cache.CodeSalt, specKey, []byte(pointLabel), grid[:])
+}
+
+// runJob executes one job, through the cache when configured. The
+// returned hit reports whether a stored or shared result was replayed
+// instead of running spec.Run.
+func runJob[R any](ctx context.Context, spec *Spec[R], job Job) (R, bool, error) {
+	var zero R
+	if spec.Cache == nil {
+		r, err := spec.Run(ctx, job)
+		return r, false, err
+	}
+	key := JobFingerprint(spec.Key, spec.Points[job.Point], job)
+	data, hit, err := spec.Cache.GetOrCompute(key, func() ([]byte, error) {
+		r, err := spec.Run(ctx, job)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Codec.Marshal(r)
+	})
+	if err != nil {
+		return zero, false, err
+	}
+	r, err := spec.Codec.Unmarshal(data)
+	if err != nil {
+		// The entry's bytes are intact (checksummed) but no longer
+		// decode: the result schema changed without a CodeSalt bump.
+		// Recompute and overwrite rather than failing the sweep —
+		// still through the codec, to keep cold/warm byte-identity.
+		fresh, rerr := spec.Run(ctx, job)
+		if rerr != nil {
+			return zero, false, rerr
+		}
+		encoded, merr := spec.Codec.Marshal(fresh)
+		if merr != nil {
+			return zero, false, merr
+		}
+		spec.Cache.Put(key, encoded)
+		r, err = spec.Codec.Unmarshal(encoded)
+		if err != nil {
+			return zero, false, fmt.Errorf("harness: result codec does not round-trip: %w", err)
+		}
+		return r, false, nil
+	}
+	return r, hit, nil
 }
 
 // JobSeed returns the seed Sweep assigns to the given grid cell. It is
@@ -173,6 +306,14 @@ func Sweep[R any](ctx context.Context, spec Spec[R]) ([][]R, error) {
 	}
 	if spec.Trials <= 0 {
 		return nil, fmt.Errorf("harness: non-positive trials %d", spec.Trials)
+	}
+	if spec.Cache != nil {
+		if len(spec.Key) == 0 {
+			return nil, errors.New("harness: Spec.Cache set without a canonical Spec.Key")
+		}
+		if spec.Codec == nil {
+			return nil, errors.New("harness: Spec.Cache set without a Spec.Codec")
+		}
 	}
 	seen := make(map[string]struct{}, len(spec.Points))
 	for _, l := range spec.Points {
@@ -221,10 +362,13 @@ func Sweep[R any](ctx context.Context, spec Spec[R]) ([][]R, error) {
 			defer wg.Done()
 			for job := range jobs {
 				jobStart := time.Now()
-				r, err := spec.Run(ctx, job)
+				r, hit, err := runJob(ctx, &spec, job)
 				jobDur := time.Since(jobStart)
 				mu.Lock()
 				spec.Timing.observe(jobDur)
+				if spec.Cache != nil && err == nil {
+					spec.Timing.observeCache(hit)
+				}
 				if err != nil {
 					if firstErr == nil {
 						firstErr = fmt.Errorf("harness: %s, point %q, trial %d: %w",

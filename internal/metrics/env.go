@@ -1,0 +1,31 @@
+package metrics
+
+import "runtime"
+
+// Env records the execution environment a measurement ran in. Timing
+// numbers are meaningless without it: a serial-equals-parallel sweep
+// table reads as a parallelism regression until the 1-vCPU container it
+// ran on is in the record. CaptureEnv stamps it into harness.Timing and
+// every exported benchmark document.
+type Env struct {
+	// GoVersion is runtime.Version() of the measuring binary.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's parallelism bound at capture time —
+	// the number a "parallel" measurement actually had available.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// CaptureEnv snapshots the current process's environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
