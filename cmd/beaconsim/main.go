@@ -20,9 +20,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/cache"
+	"beaconsec/internal/core"
 	"beaconsec/internal/experiment"
 	"beaconsec/internal/revoke"
 	"beaconsec/internal/scenario"
@@ -47,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	m := fs.Int("m", 8, "detecting IDs per beacon node")
 	wormhole := fs.Bool("wormhole", true, "install the paper's wormhole tunnel")
 	collude := fs.Bool("collude", true, "malicious beacons flood coordinated alerts")
+	detector := fs.String("detector", "", "detection pipeline, e.g. paper or mahalanobis{threshold=2.5} (default: the paper pipeline)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	useCache := fs.Bool("cache", false, "memoize the run's result on disk (see -cache-dir)")
 	cacheDir := fs.String("cache-dir", filepath.Join("results", "cache"), "result cache directory")
@@ -68,6 +71,17 @@ func run(args []string, out io.Writer) error {
 	if !*wormhole {
 		cfg.Wormholes = nil
 	}
+	if *detector != "" {
+		spec, err := core.ParseDetectorSpec(*detector)
+		if err != nil {
+			return err
+		}
+		if !core.DetectorRegistered(spec.Name) {
+			return fmt.Errorf("unknown detector %q (registered: %s)",
+				spec.Name, strings.Join(core.DetectorNames(), ", "))
+		}
+		cfg.Detector = spec
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -82,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "attacker strategy    P=%.2f  thresholds tau=%d tau'=%d  p_d=%.2f\n",
 		*p, *tau, *tauPrime, *pd)
 	fmt.Fprintf(out, "RTT replay threshold %.0f cycles\n", res.RTTThreshold)
+	fmt.Fprintf(out, "detector             %s\n", res.Detector)
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "revoked malicious    %d / %d  (detection rate %.2f)\n",
 		res.RevokedMalicious, *na, res.DetectionRate)
@@ -113,7 +128,8 @@ func runMaybeCached(cfg scenario.Config, useCache bool, dir string, out io.Write
 	}
 	// The full config — seeds included — addresses the entry: a single
 	// run's identity is every flag that shaped it.
-	key := cache.Fingerprint(cache.CodeSalt, experiment.EncodeKey("beaconsim", cfg))
+	key := cache.Fingerprint(cache.CodeSalt,
+		experiment.EncodeKey("beaconsim", cfg.Detector.Canonical(), cfg))
 	data, hit, err := c.GetOrCompute(key, func() ([]byte, error) {
 		res, rerr := scenario.Run(cfg)
 		if rerr != nil {

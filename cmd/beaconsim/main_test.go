@@ -89,3 +89,26 @@ func TestRunCachedReplayMatches(t *testing.T) {
 		t.Fatalf("seed change replayed a stale entry:\n%s", b.String())
 	}
 }
+
+// TestRunDetectorFlag: -detector threads through to the run report, and
+// an unregistered name fails fast naming the registered detectors.
+func TestRunDetectorFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run(smallArgs("-p", "0.5", "-wormhole=false", "-collude=false",
+		"-detector", "ml{bias=20}"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "detector             ml{bias=20}") {
+		t.Errorf("report does not name the detector:\n%s", b.String())
+	}
+
+	err := run(smallArgs("-detector", "bogus"), &strings.Builder{})
+	if err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+	for _, want := range []string{`unknown detector "bogus"`, "paper"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

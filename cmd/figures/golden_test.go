@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"beaconsec/internal/textplot"
+)
+
+// goldenDoc is the stable projection of the -json export the golden file
+// pins: run parameters plus every figure's series and notes, with the
+// wall-clock metrics (and any fields added after the golden was cut)
+// stripped. CI regenerates the same projection with jq.
+type goldenDoc struct {
+	Seed    uint64         `json:"seed"`
+	Quick   bool           `json:"quick"`
+	Results []goldenResult `json:"results"`
+}
+
+type goldenResult struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []textplot.Series
+	Notes  []string
+}
+
+func goldenProject(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc goldenDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("projection does not parse: %v", err)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenDefaultDetectorByteIdentity pins the refactor's headline
+// contract: with the default (paper) detector, the quick seed-1
+// detection figures are byte-identical to the output committed before
+// the detector registry existed, at one worker and at a small pool.
+func TestGoldenDefaultDetectorByteIdentity(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "results", "golden", "detect_quick_seed1.json"))
+	if err != nil {
+		t.Fatalf("golden file missing: %v", err)
+	}
+	want := goldenProject(t, golden)
+
+	for _, workers := range []int{1, 2} {
+		path := filepath.Join(t.TempDir(), "out.json")
+		var b strings.Builder
+		args := []string{"-fig", "fig12,fig13", "-quick", "-seed", "1",
+			"-progress=false", "-workers", strconv.Itoa(workers), "-json", path}
+		if err := run(args, &b); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := goldenProject(t, raw); !bytes.Equal(want, got) {
+			t.Errorf("workers=%d: output diverged from the pre-refactor golden:\n--- want\n%s\n--- got\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+// TestRunRejectsUnknownDetector: a detector name the registry does not
+// know must fail before any simulation, naming the registered options.
+func TestRunRejectsUnknownDetector(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig", "fig05", "-quick", "-progress=false",
+		"-detectors", "paper,bogus"}, &b)
+	if err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+	for _, want := range []string{`unknown detector "bogus"`, "mahalanobis", "ml", "paper"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRunRejectsMalformedDetectorSpec: parameter-syntax errors fail fast
+// too.
+func TestRunRejectsMalformedDetectorSpec(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fig", "fig05", "-quick", "-progress=false",
+		"-detectors", "ml{bias="}, &b)
+	if err == nil {
+		t.Fatal("malformed detector spec accepted")
+	}
+}
+
+// TestParseDetectorsAcceptsList covers the happy path, including braced
+// parameters containing commas.
+func TestParseDetectorsAcceptsList(t *testing.T) {
+	specs, err := parseDetectors("paper,mahalanobis{threshold=2.5},ml{bias=20,lambda=0.5}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
+	}
+	if got := specs[1].Canonical(); got != "mahalanobis{threshold=2.5}" {
+		t.Errorf("specs[1] = %q", got)
+	}
+}

@@ -11,6 +11,7 @@
 //
 //	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
 //	        [-workers N] [-progress] [-json FILE]
+//	        [-detectors paper,mahalanobis{threshold=2.5},ml]
 //	        [-cache] [-cache-dir DIR] [-cache-clear]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"beaconsec/internal/cache"
+	"beaconsec/internal/core"
 	"beaconsec/internal/experiment"
 	"beaconsec/internal/metrics"
 )
@@ -53,6 +55,7 @@ func main() {
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	figs := fs.String("fig", "all", "comma-separated figure IDs, or 'all'")
+	detectors := fs.String("detectors", "", "comma-separated detector specs for the bake-off runner, e.g. paper,mahalanobis{threshold=2.5} (default: all registered)")
 	quick := fs.Bool("quick", false, "reduced trials and network size")
 	seed := fs.Uint64("seed", 1, "random seed")
 	outDir := fs.String("out", "", "directory for CSV and text output (optional)")
@@ -132,6 +135,13 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Cache: trialCache}
+	if *detectors != "" {
+		specs, derr := parseDetectors(*detectors)
+		if derr != nil {
+			return derr
+		}
+		opts.Detectors = specs
+	}
 	results, err := runAll(runners, opts, *progress)
 	if err != nil {
 		return err
@@ -269,6 +279,24 @@ func runAll(runners []experiment.Runner, opts experiment.Options, progress bool)
 		}
 	}
 	return results, nil
+}
+
+// parseDetectors parses the -detectors flag and fails fast on a name the
+// registry does not know, listing what it does — like the destination-
+// directory validation, a bad detector must fail in milliseconds with a
+// clear message, not after minutes of simulation.
+func parseDetectors(text string) ([]core.DetectorSpec, error) {
+	specs, err := core.ParseDetectorList(text)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range specs {
+		if !core.DetectorRegistered(spec.Name) {
+			return nil, fmt.Errorf("unknown detector %q (registered: %s)",
+				spec.Name, strings.Join(core.DetectorNames(), ", "))
+		}
+	}
+	return specs, nil
 }
 
 func knownIDs() string {

@@ -1,0 +1,35 @@
+package core
+
+func init() {
+	RegisterDetector(DefaultDetectorName, newPaperDetector)
+}
+
+// paperDetector is the paper's §2.1–2.2 pipeline behind the Detector
+// interface. It delegates verbatim to Config.EvaluateDetector /
+// EvaluateSensor, so the registry's default is byte-identical to the
+// pre-registry pipeline by construction.
+type paperDetector struct {
+	spec DetectorSpec
+	cfg  Config
+}
+
+func newPaperDetector(spec DetectorSpec, env DetectorEnv) (Detector, error) {
+	if err := spec.checkParams(); err != nil {
+		return nil, err
+	}
+	cfg := Config{MaxDistError: env.MaxDistError, MaxRTT: env.MaxRTT, Range: env.Range}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return paperDetector{spec: spec, cfg: cfg}, nil
+}
+
+func (d paperDetector) Spec() DetectorSpec { return d.spec }
+
+func (d paperDetector) EvaluateDetector(o Observation) Verdict {
+	return d.cfg.EvaluateDetector(o)
+}
+
+func (d paperDetector) EvaluateSensor(o Observation) Verdict {
+	return d.cfg.EvaluateSensor(o)
+}

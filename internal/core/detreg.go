@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Detector classifies completed beacon exchanges. Implementations must be
+// pure functions of the observation and their construction-time
+// parameters: no internal state, no randomness, no wall clock — the same
+// observation always yields the same verdict, so simulation results stay
+// byte-identical for any worker count.
+//
+// EvaluateDetector is the detecting-node pipeline (the requester knows
+// its own location); EvaluateSensor is the non-beacon-node filter (it
+// does not). See Config.EvaluateDetector / EvaluateSensor for the
+// paper's reference semantics.
+type Detector interface {
+	// Spec returns the fully resolved specification that built this
+	// detector (defaults filled in), whose Canonical form is the
+	// detector's cache identity.
+	Spec() DetectorSpec
+	EvaluateDetector(o Observation) Verdict
+	EvaluateSensor(o Observation) Verdict
+}
+
+// DetectorSpec selects a registered detector implementation by name plus
+// its numeric parameters. The zero value selects the paper's
+// consistency/replay pipeline with default parameters.
+type DetectorSpec struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// DefaultDetectorName is the registry name of the paper's pipeline, the
+// meaning of a zero DetectorSpec.
+const DefaultDetectorName = "paper"
+
+// withDefault resolves the zero value to the paper detector.
+func (s DetectorSpec) withDefault() DetectorSpec {
+	if s.Name == "" {
+		s.Name = DefaultDetectorName
+	}
+	return s
+}
+
+// Validate checks the spec's shape (names well-formed, parameter values
+// finite). Registry membership is checked by NewDetector, not here, so
+// configs can be validated without importing every implementation.
+func (s DetectorSpec) Validate() error {
+	s = s.withDefault()
+	if !wellFormedName(s.Name) {
+		return fmt.Errorf("core: detector name %q: must be non-empty [a-z0-9._-]", s.Name)
+	}
+	for k, v := range s.Params {
+		if !wellFormedName(k) {
+			return fmt.Errorf("core: detector %s: parameter name %q: must be non-empty [a-z0-9._-]", s.Name, k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: detector %s: parameter %s=%v must be finite", s.Name, k, v)
+		}
+	}
+	return nil
+}
+
+func wellFormedName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical renders the spec in its canonical text form — `name` or
+// `name{k1=v1,k2=v2}` with parameter keys sorted and values in Go's
+// shortest exact float encoding. Two specs with equal Canonical strings
+// configure identical detectors, so the string is safe cache-key and
+// metrics-map material. The zero spec canonicalizes to "paper".
+func (s DetectorSpec) Canonical() string {
+	s = s.withDefault()
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(s.Params[k], 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// param returns a parameter value or its default.
+func (s DetectorSpec) param(name string, def float64) float64 {
+	if v, ok := s.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// checkParams rejects parameters no builder reads — a misspelled
+// parameter must fail loudly, not silently fall back to a default.
+func (s DetectorSpec) checkParams(known ...string) error {
+	for k := range s.Params {
+		found := false
+		for _, name := range known {
+			if k == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: detector %s: unknown parameter %q (known: %s)",
+				s.Name, k, strings.Join(known, ", "))
+		}
+	}
+	return nil
+}
+
+// ParseDetectorSpec parses the canonical text form: `name` or
+// `name{k=v,...}`.
+func ParseDetectorSpec(text string) (DetectorSpec, error) {
+	text = strings.TrimSpace(text)
+	spec := DetectorSpec{}
+	if text == "" {
+		return spec, fmt.Errorf("core: empty detector spec")
+	}
+	body := ""
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		if !strings.HasSuffix(text, "}") {
+			return spec, fmt.Errorf("core: detector spec %q: unterminated '{'", text)
+		}
+		spec.Name, body = text[:i], text[i+1:len(text)-1]
+	} else {
+		spec.Name = text
+	}
+	if body != "" {
+		spec.Params = make(map[string]float64)
+		for _, kv := range strings.Split(body, ",") {
+			k, vs, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return spec, fmt.Errorf("core: detector spec %q: parameter %q is not k=v", text, kv)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+			if err != nil {
+				return spec, fmt.Errorf("core: detector spec %q: parameter %s: %v", text, k, err)
+			}
+			if _, dup := spec.Params[strings.TrimSpace(k)]; dup {
+				return spec, fmt.Errorf("core: detector spec %q: duplicate parameter %s", text, k)
+			}
+			spec.Params[strings.TrimSpace(k)] = v
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// ParseDetectorList parses a comma-separated list of detector specs,
+// splitting only at commas outside `{...}` parameter blocks (the commas
+// inside a spec's parameter list do not separate specs).
+func ParseDetectorList(text string) ([]DetectorSpec, error) {
+	var specs []DetectorSpec
+	depth, start := 0, 0
+	flush := func(end int) error {
+		part := strings.TrimSpace(text[start:end])
+		if part == "" {
+			return fmt.Errorf("core: detector list %q: empty entry", text)
+		}
+		spec, err := ParseDetectorSpec(part)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+		return nil
+	}
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("core: detector list %q: unbalanced '}'", text)
+			}
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("core: detector list %q: unbalanced '{'", text)
+	}
+	if err := flush(len(text)); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// RTTStats summarizes a no-attack RTT calibration for detectors that
+// need distribution moments rather than just the x_max threshold.
+type RTTStats struct {
+	// Mean and Std are the sample moments in cycles.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	// Min and Max are the paper's x_min / x_max.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Threshold is the local-replay threshold (x_max + guard band).
+	Threshold float64 `json:"threshold"`
+}
+
+// DetectorEnv is everything a detector builder may calibrate against.
+type DetectorEnv struct {
+	// MaxDistError is ε_max (also the ranging-error bound), feet.
+	MaxDistError float64
+	// MaxRTT is the calibrated local-replay threshold, cycles.
+	MaxRTT float64
+	// Range is the radio communication range, feet.
+	Range float64
+	// RTT returns the no-attack RTT calibration statistics. It is a
+	// closure because the measurement is expensive: builders that do not
+	// need moments (the paper pipeline) must not call it, and callers
+	// that have the statistics pinned supply them without re-measuring.
+	RTT func() RTTStats
+}
+
+// DetectorBuilder constructs a detector from its spec (defaults already
+// applied to the name, not the parameters) and the environment.
+type DetectorBuilder func(spec DetectorSpec, env DetectorEnv) (Detector, error)
+
+// detectorRegistry maps detector names to builders. Registration happens
+// in package init functions; the map is read-only afterwards, so
+// concurrent NewDetector calls need no locking.
+var detectorRegistry = map[string]DetectorBuilder{}
+
+// RegisterDetector adds a builder under a name. It panics on duplicate or
+// malformed names: registration is an init-time programming act.
+func RegisterDetector(name string, b DetectorBuilder) {
+	if !wellFormedName(name) {
+		panic(fmt.Sprintf("core: RegisterDetector: malformed name %q", name))
+	}
+	if _, dup := detectorRegistry[name]; dup {
+		panic(fmt.Sprintf("core: RegisterDetector: duplicate name %q", name))
+	}
+	detectorRegistry[name] = b
+}
+
+// DetectorNames returns the registered detector names, sorted.
+func DetectorNames() []string {
+	names := make([]string, 0, len(detectorRegistry))
+	for name := range detectorRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DetectorRegistered reports whether name resolves to a builder (the
+// empty name resolves to the default).
+func DetectorRegistered(name string) bool {
+	if name == "" {
+		name = DefaultDetectorName
+	}
+	_, ok := detectorRegistry[name]
+	return ok
+}
+
+// NewDetector builds the detector a spec selects. The zero spec builds
+// the paper pipeline.
+func NewDetector(spec DetectorSpec, env DetectorEnv) (Detector, error) {
+	spec = spec.withDefault()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b, ok := detectorRegistry[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown detector %q (registered: %s)",
+			spec.Name, strings.Join(DetectorNames(), ", "))
+	}
+	return b(spec, env)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"beaconsec/internal/geo"
@@ -200,3 +201,30 @@ func (c Calibration) SpreadBits() float64 {
 // Threshold returns the local-replay detection threshold: x_max plus the
 // guard band.
 func (c Calibration) Threshold() float64 { return c.XMax() + GuardBand }
+
+// Stats summarizes the calibration for detectors that need distribution
+// moments (DetectorEnv.RTT): sample mean and standard deviation plus the
+// x_min / x_max / threshold headline values.
+func (c Calibration) Stats() RTTStats {
+	n := len(c.samples)
+	if n == 0 {
+		return RTTStats{}
+	}
+	var sum float64
+	for _, x := range c.samples {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range c.samples {
+		d := x - mean
+		ss += d * d
+	}
+	return RTTStats{
+		Mean:      mean,
+		Std:       math.Sqrt(ss / float64(n)),
+		Min:       c.XMin(),
+		Max:       c.XMax(),
+		Threshold: c.Threshold(),
+	}
+}

@@ -117,23 +117,35 @@ func TestCacheSurvivesProcessRestart(t *testing.T) {
 }
 
 // TestEncodeKeySensitivity: the key material must separate sweeps by
-// kind and by any config field, and be stable for equal inputs.
+// kind, by detector, and by any config field, and be stable for equal
+// inputs.
 func TestEncodeKeySensitivity(t *testing.T) {
 	type cfg struct{ Trials int }
-	a := EncodeKey("sweep", cfg{3})
-	if !bytes.Equal(a, EncodeKey("sweep", cfg{3})) {
+	a := EncodeKey("sweep", "paper", cfg{3})
+	if !bytes.Equal(a, EncodeKey("sweep", "paper", cfg{3})) {
 		t.Error("equal inputs produced different keys")
 	}
-	if bytes.Equal(a, EncodeKey("sweep", cfg{4})) {
+	if bytes.Equal(a, EncodeKey("sweep", "paper", cfg{4})) {
 		t.Error("config change did not change the key")
 	}
-	if bytes.Equal(a, EncodeKey("other", cfg{3})) {
+	if bytes.Equal(a, EncodeKey("other", "paper", cfg{3})) {
 		t.Error("kind change did not change the key")
 	}
-	// The kind/payload boundary is unambiguous: a kind that "absorbs"
-	// part of the payload cannot collide.
-	if bytes.Equal(EncodeKey("ab", "c"), EncodeKey("a", "bc")) {
-		t.Error("kind/payload boundary ambiguous")
+	if bytes.Equal(a, EncodeKey("sweep", "ml", cfg{3})) {
+		t.Error("detector change did not change the key")
+	}
+	// The version prefix is what retires every pre-detector (v1) entry:
+	// losing it would let stale v1 trials alias v2 keys.
+	if !bytes.HasPrefix(a, []byte("beaconsec-key/v2\x00")) {
+		t.Errorf("key material lost its version prefix: %q", a[:20])
+	}
+	// The field boundaries are unambiguous: a kind or detector that
+	// "absorbs" part of a neighboring field cannot collide.
+	if bytes.Equal(EncodeKey("ab", "c", "d"), EncodeKey("a", "bc", "d")) {
+		t.Error("kind/detector boundary ambiguous")
+	}
+	if bytes.Equal(EncodeKey("a", "bc", "d"), EncodeKey("a", "b", "cd")) {
+		t.Error("detector/payload boundary ambiguous")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/cache"
+	"beaconsec/internal/core"
 	"beaconsec/internal/deploy"
 	"beaconsec/internal/harness"
 	"beaconsec/internal/scenario"
@@ -38,6 +39,11 @@ type Options struct {
 	// sharing a sweep, like fig12/fig13) compute once. Figure results
 	// are byte-identical with or without it.
 	Cache *cache.Cache
+	// Detectors selects the detector grid the bake-off runner
+	// (extra-bakeoff) compares; empty selects every registered
+	// detector with default parameters. The paper-figure runners ignore
+	// it: they reproduce the paper and always run its pipeline.
+	Detectors []core.DetectorSpec
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -114,6 +120,7 @@ func All() []Runner {
 		{"fig14", Fig14},
 		{"extra-localization", ExtraLocalization},
 		{"extra-ablation", ExtraAblation},
+		{"extra-bakeoff", ExtraBakeoff},
 		{"extra-promotion", ExtraPromotion},
 		{"extra-distributed", ExtraDistributed},
 		{"extra-routing", ExtraRouting},

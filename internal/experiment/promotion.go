@@ -62,7 +62,9 @@ func ExtraPromotion(o Options) (Result, error) {
 			Liars, Detect bool
 		}{v.label, v.liars, v.detect}
 	}
-	key := EncodeKey("extra-promotion", struct {
+	// The promotion experiment exercises the localization layer only —
+	// no scenario detector runs — so its detector field is empty.
+	key := EncodeKey("extra-promotion", "", struct {
 		Nodes, Trials int
 		Field         geo.Rect
 		Cfg           localization.IterativeConfig

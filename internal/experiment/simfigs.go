@@ -60,59 +60,81 @@ func quickDeploy(c *scenario.Config) {
 	c.Deploy.Field = geo.Square(550)
 }
 
-// calThreshold runs the shared RTT calibration: the threshold is a
-// deployment constant, not per-run state, so it is measured once per
-// figure and pinned into every scenario. With a cache, the measurement
-// is memoized by (trials, seed) — and single-flighted, so the
-// concurrently regenerating figures that all calibrate with the same
-// parameters pay for one calibration between them.
-func calThreshold(o Options) (float64, error) {
+// calStats runs the shared RTT calibration and returns its full
+// statistics: the threshold is a deployment constant, not per-run state,
+// so it is measured once per figure and pinned into every scenario, and
+// the moments ride along for detectors that calibrate on them (the
+// Mahalanobis detector's mean/σ). With a cache, the measurement is
+// memoized by (trials, seed) — and single-flighted, so the concurrently
+// regenerating figures that all calibrate with the same parameters pay
+// for one calibration between them. The calibration is
+// detector-independent, so its key carries an empty detector field.
+func calStats(o Options) (core.RTTStats, error) {
 	calTrials := 2000
 	if o.Quick {
 		calTrials = 500
 	}
 	seed := o.Seed ^ 0xC0FFEE
-	compute := func() (float64, error) {
+	compute := func() (core.RTTStats, error) {
 		cal, err := core.CalibrateRTTWorkers(calTrials, phy.DefaultJitter(), seed, o.Workers)
 		if err != nil {
-			return 0, err
+			return core.RTTStats{}, err
 		}
-		return cal.Threshold(), nil
+		return cal.Stats(), nil
 	}
 	if o.Cache == nil {
 		return compute()
 	}
-	key := cache.Fingerprint(cache.CodeSalt, EncodeKey("rtt-calibration", struct {
+	key := cache.Fingerprint(cache.CodeSalt, EncodeKey("rtt-calibration", "", struct {
 		Trials int
 		Seed   uint64
 	}{calTrials, seed}))
 	data, _, err := o.Cache.GetOrCompute(key, func() ([]byte, error) {
-		th, err := compute()
+		st, err := compute()
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(th)
+		return json.Marshal(st)
 	})
+	if err != nil {
+		return core.RTTStats{}, err
+	}
+	var st core.RTTStats
+	if err := json.Unmarshal(data, &st); err != nil || st.Threshold == 0 {
+		return compute() // schema drift without a salt bump: recompute
+	}
+	return st, nil
+}
+
+// calThreshold is the local-replay threshold from the shared calibration.
+func calThreshold(o Options) (float64, error) {
+	st, err := calStats(o)
 	if err != nil {
 		return 0, err
 	}
-	var th float64
-	if err := json.Unmarshal(data, &th); err != nil {
-		return compute() // schema drift without a salt bump: recompute
-	}
-	return th, nil
+	return st.Threshold, nil
 }
 
 // sweepKey builds the canonical cache key for a scenario sweep from its
 // fully resolved per-point configs. Seeds are zeroed in the encoding —
 // the harness's job fingerprint addresses them — so the key captures
-// exactly the configuration half of a trial's identity.
+// exactly the configuration half of a trial's identity. The sweep's
+// detector identity is lifted into the key's dedicated detector field;
+// a sweep must be detector-uniform (the bake-off runs one sweep per
+// detector), so mixed-detector protos panic.
 func sweepKey(kind string, trials int, protos []scenario.Config) []byte {
+	detector := core.DetectorSpec{}.Canonical()
 	for i := range protos {
+		if d := protos[i].Detector.Canonical(); i == 0 {
+			detector = d
+		} else if d != detector {
+			panic(fmt.Sprintf("experiment: sweepKey(%s): mixed detectors %q and %q in one sweep",
+				kind, detector, d))
+		}
 		protos[i].Seed = 0
 		protos[i].Deploy.Seed = 0
 	}
-	return EncodeKey(kind, struct {
+	return EncodeKey(kind, detector, struct {
 		Trials  int
 		Configs []scenario.Config
 	}{trials, protos})
@@ -199,6 +221,7 @@ func meanScenario(_ int, runs []*scenario.Result) *scenario.Result {
 		agg.BenignAlerts += r.BenignAlerts
 		agg.TrueAlerts += r.TrueAlerts
 		agg.Population = r.Population
+		agg.Detector = r.Detector
 		agg.Metrics.Merge(r.Metrics)
 	}
 	f := float64(len(runs))

@@ -103,6 +103,30 @@ func (t *Timing) observeCache(hit bool) {
 	}
 }
 
+// Merge folds another sweep's timing profile into t: job and cache
+// counters add, wall time adds (for sweeps run back to back, as a
+// multi-sweep figure does), throughput is re-derived, and the latency
+// histograms merge. The environment is taken from whichever profile
+// captured one first.
+func (t *Timing) Merge(o Timing) {
+	t.Jobs += o.Jobs
+	t.WallSeconds += o.WallSeconds
+	if t.WallSeconds > 0 {
+		t.JobsPerSec = float64(t.Jobs) / t.WallSeconds
+	}
+	t.CacheHits += o.CacheHits
+	t.CacheMisses += o.CacheMisses
+	if (t.Env == metrics.Env{}) {
+		t.Env = o.Env
+	}
+	if o.JobSeconds != nil {
+		if t.JobSeconds == nil {
+			t.JobSeconds = metrics.NewHistogram(o.JobSeconds.Bounds...)
+		}
+		t.JobSeconds.Merge(o.JobSeconds)
+	}
+}
+
 // finish stamps the sweep's total wall time and derives throughput.
 func (t *Timing) finish(wall time.Duration) {
 	if t == nil {

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"testing"
+
+	"beaconsec/internal/core"
+)
+
+// TestValidateDetector: a config naming an unregistered or malformed
+// detector must fail validation before any simulation runs.
+func TestValidateDetector(t *testing.T) {
+	cfg := smallConfig(0.3, 1)
+	cfg.Detector = core.DetectorSpec{Name: "nope"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("unregistered detector accepted")
+	}
+	cfg.Detector = core.DetectorSpec{Name: "Paper"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("malformed detector name accepted")
+	}
+	cfg.Detector = core.DetectorSpec{}
+	cfg.AttackBias = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative attack bias accepted")
+	}
+}
+
+// TestRunThreadsDetectorIdentity: the resolved canonical detector name
+// must surface in the result and key the per-detector verdict counters
+// in the metrics, for the default and a named alternative alike.
+func TestRunThreadsDetectorIdentity(t *testing.T) {
+	for _, spec := range []core.DetectorSpec{
+		{},
+		{Name: "ml"},
+		{Name: "mahalanobis", Params: map[string]float64{"threshold": 2.5}},
+	} {
+		cfg := smallConfig(0.3, 1)
+		cfg.Detector = spec
+		res := run(t, cfg)
+		want := spec.Canonical()
+		if res.Detector != want {
+			t.Errorf("Result.Detector = %q, want %q", res.Detector, want)
+		}
+		fm, ok := res.Metrics.Detectors[want]
+		if !ok {
+			t.Fatalf("%s: metrics missing per-detector counters (have %v)",
+				want, res.Metrics.Detectors)
+		}
+		if fm != res.Metrics.Filters {
+			t.Errorf("%s: per-detector counters %+v diverge from filter totals %+v",
+				want, fm, res.Metrics.Filters)
+		}
+	}
+}
+
+// TestDefaultDetectorByteIdentical: naming the paper detector explicitly
+// must reproduce the implicit default run exactly — the refactor's
+// byte-identity contract at the scenario level.
+func TestDefaultDetectorByteIdentical(t *testing.T) {
+	implicit := run(t, smallConfig(0.3, 7))
+	cfg := smallConfig(0.3, 7)
+	cfg.Detector = core.DetectorSpec{Name: core.DefaultDetectorName}
+	explicit := run(t, cfg)
+	if implicit.DetectionRate != explicit.DetectionRate ||
+		implicit.RevokedMalicious != explicit.RevokedMalicious ||
+		implicit.RevokedBenign != explicit.RevokedBenign ||
+		implicit.TrueAlerts != explicit.TrueAlerts ||
+		implicit.Localized != explicit.Localized ||
+		implicit.LocErrMean != explicit.LocErrMean {
+		t.Errorf("explicit paper detector diverged from default:\n%+v\nvs\n%+v",
+			implicit, explicit)
+	}
+}
+
+// TestSubtleAttackSeparatesDetectors: a 1.5ε enlargement sits inside the
+// paper's per-exchange always-catch region but outside the Mahalanobis
+// ellipse often enough to matter; with a generous exchange budget the
+// paper pipeline must catch at least as many attackers as under the
+// blatant default, and the mahalanobis run must record strictly fewer
+// malicious verdicts per exchange than the paper run on identical
+// deployments (catch 0.437 vs 0.75 per flagged exchange).
+func TestSubtleAttackSeparatesDetectors(t *testing.T) {
+	mal := func(spec core.DetectorSpec) uint64 {
+		cfg := smallConfig(0.5, 3)
+		cfg.AttackBias = 15 // 1.5 ε_max
+		cfg.Detector = spec
+		res := run(t, cfg)
+		return res.Metrics.Filters.DetectorMalicious
+	}
+	paper := mal(core.DetectorSpec{})
+	maha := mal(core.DetectorSpec{Name: "mahalanobis"})
+	if paper == 0 {
+		t.Fatal("paper pipeline flagged no exchanges under a 1.5-epsilon attack")
+	}
+	if maha >= paper {
+		t.Errorf("mahalanobis flagged %d exchanges vs paper's %d; expected fewer (catch 0.437 vs 0.75)",
+			maha, paper)
+	}
+}
+
+// TestRTTStatsPinSkipsCalibration: with both the threshold and the
+// calibration statistics pinned (as the bake-off pins them), a run with
+// a moments-hungry detector must not calibrate at all — pin an
+// impossible trial count so any calibration attempt fails loudly.
+func TestRTTStatsPinSkipsCalibration(t *testing.T) {
+	cfg := smallConfig(0.3, 1)
+	cfg.Detector = core.DetectorSpec{Name: "mahalanobis"}
+	pinned := core.RTTStats{Mean: 50000, Std: 250, Min: 49200, Max: 50870, Threshold: 50900}
+	cfg.RTTStats = &pinned
+	cfg.RTTThreshold = pinned.Threshold
+	cfg.CalibrationTrials = -1 // any calibration attempt errors out
+	res := run(t, cfg)
+	if res.RTTThreshold != pinned.Threshold {
+		t.Errorf("RTT threshold %v, want pinned %v", res.RTTThreshold, pinned.Threshold)
+	}
+}

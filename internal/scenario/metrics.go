@@ -65,6 +65,11 @@ type Metrics struct {
 	Probes node.ProbeStats `json:"probes"`
 	// Filters counts detector-pipeline outcomes.
 	Filters FilterMetrics `json:"filters"`
+	// Detectors splits the filter counters by detector identity
+	// (Result.Detector's canonical string). A single run contributes one
+	// key; merged bake-off aggregates carry one entry per detector, so
+	// verdict-mix comparisons across detectors need no re-runs.
+	Detectors map[string]FilterMetrics `json:"detectors,omitempty"`
 	// Revocation counts base-station and uplink activity.
 	Revocation RevocationMetrics `json:"revocation"`
 	// Phases is the per-phase breakdown (announce/collude/detect/
@@ -82,6 +87,14 @@ func (m *Metrics) Merge(o Metrics) {
 	m.Link.Merge(o.Link)
 	m.Probes.Merge(o.Probes)
 	m.Filters.Merge(o.Filters)
+	for det, f := range o.Detectors {
+		if m.Detectors == nil {
+			m.Detectors = make(map[string]FilterMetrics)
+		}
+		acc := m.Detectors[det]
+		acc.Merge(f)
+		m.Detectors[det] = acc
+	}
 	m.Revocation.Merge(o.Revocation)
 	m.Phases = metrics.MergeSpans(m.Phases, o.Phases)
 }
@@ -138,5 +151,6 @@ func (r *Result) collectInstrumentation(sched *sim.Scheduler, medium *phy.Medium
 		m.Probes.Merge(s.ProbeStats())
 		m.Filters.addVerdicts(s.Verdicts, true)
 	}
+	m.Detectors = map[string]FilterMetrics{r.Detector: m.Filters}
 	r.Metrics = m
 }

@@ -55,6 +55,21 @@ type Config struct {
 	Revoke revoke.Config
 	// Strategy is every malicious beacon's (p_n, p_w, p_l) triple.
 	Strategy analysis.Strategy
+	// Detector selects the detection pipeline every node runs, by
+	// registry name plus parameters (core.DetectorNames lists the
+	// implementations). The zero value is the paper's §2.1–2.2
+	// consistency/replay pipeline.
+	Detector core.DetectorSpec
+	// AttackBias is the distance enlargement of malicious attack
+	// signals, in feet; zero selects the node-layer default (5·ε_max, an
+	// unmistakable attack). Smaller biases model subtle attackers the
+	// detector bake-off separates on.
+	AttackBias float64
+	// RTTStats pins the no-attack RTT calibration statistics detectors
+	// calibrate against (e.g. the Mahalanobis detector's mean/σ); nil
+	// derives them from a fresh calibration if — and only if — the
+	// selected detector asks.
+	RTTStats *core.RTTStats
 	// MaxDistError is ε_max in feet (also the ranging error bound).
 	MaxDistError float64
 	// WormholeRate is the per-node wormhole detector's p_d.
@@ -130,6 +145,16 @@ func (c Config) Validate() error {
 	if err := c.Strategy.Validate(); err != nil {
 		return err
 	}
+	if err := c.Detector.Validate(); err != nil {
+		return err
+	}
+	if !core.DetectorRegistered(c.Detector.Name) {
+		return fmt.Errorf("scenario: unknown detector %q (registered: %v)",
+			c.Detector.Name, core.DetectorNames())
+	}
+	if c.AttackBias < 0 {
+		return fmt.Errorf("scenario: AttackBias %v must be non-negative", c.AttackBias)
+	}
 	if c.MaxDistError <= 0 {
 		return fmt.Errorf("scenario: MaxDistError %v must be positive", c.MaxDistError)
 	}
@@ -178,6 +203,9 @@ type Result struct {
 
 	// RTTThreshold actually used (cycles).
 	RTTThreshold float64
+	// Detector is the canonical identity of the detection pipeline the
+	// run used (e.g. "paper", "mahalanobis{threshold=3}").
+	Detector string
 
 	// Distributed-variant metrics (zero unless Config.Distributed):
 	// LocalCoverage is the mean, over malicious beacons, of the fraction
@@ -244,13 +272,23 @@ func Run(cfg Config) (*Result, error) {
 	})
 	master := crypto.NewMaster([]byte(fmt.Sprintf("scenario-%d", cfg.Seed)))
 
+	// The no-attack RTT calibration is memoized so the threshold and any
+	// detector that asks for distribution moments share one measurement.
+	var calMemo *core.Calibration
+	calibration := func() core.Calibration {
+		if calMemo == nil {
+			trials := cfg.CalibrationTrials
+			if trials == 0 {
+				trials = 2000
+			}
+			c := core.CalibrateRTT(trials, phy.DefaultJitter(), cfg.Seed^0xCA11B8)
+			calMemo = &c
+		}
+		return *calMemo
+	}
 	threshold := cfg.RTTThreshold
 	if threshold == 0 {
-		trials := cfg.CalibrationTrials
-		if trials == 0 {
-			trials = 2000
-		}
-		threshold = core.CalibrateRTT(trials, phy.DefaultJitter(), cfg.Seed^0xCA11B8).Threshold()
+		threshold = calibration().Threshold()
 	}
 	coreCfg := core.Config{
 		MaxDistError: cfg.MaxDistError,
@@ -259,6 +297,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.DisableRTTFilter {
 		coreCfg.MaxRTT = math.MaxFloat64
+	}
+	det, err := core.NewDetector(cfg.Detector, core.DetectorEnv{
+		MaxDistError: coreCfg.MaxDistError,
+		MaxRTT:       coreCfg.MaxRTT,
+		Range:        coreCfg.Range,
+		RTT: func() core.RTTStats {
+			if cfg.RTTStats != nil {
+				return *cfg.RTTStats
+			}
+			return calibration().Stats()
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// The default paper detector runs through the Core config directly
+	// (Env.Detector nil), keeping the hot path and its output bit-for-bit
+	// identical to the pre-registry pipeline.
+	var envDetector core.Detector
+	if det.Spec().Canonical() != core.DefaultDetectorName {
+		envDetector = det
 	}
 
 	bs := revoke.NewBaseStation(cfg.Revoke)
@@ -271,6 +330,7 @@ func Run(cfg Config) (*Result, error) {
 		Master:             master,
 		Dep:                dep,
 		Core:               coreCfg,
+		Detector:           envDetector,
 		Uplink:             uplink,
 		Src:                src.Split("nodes"),
 		WormholeRate:       cfg.WormholeRate,
@@ -287,7 +347,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Build nodes: beacons (benign and malicious) then sensors.
-	res := &Result{RTTThreshold: coreCfg.MaxRTT, bs: bs}
+	res := &Result{RTTThreshold: coreCfg.MaxRTT, Detector: det.Spec().Canonical(), bs: bs}
 	maliciousByID := make(map[ident.NodeID]*node.Malicious)
 	hello := src.Split("hello")
 	for _, i := range dep.Beacons() {
@@ -304,7 +364,10 @@ func Run(cfg Config) (*Result, error) {
 			b.StartDetection(detectFrom, detectLen)
 			res.beacons = append(res.beacons, b)
 		case deploy.KindMalicious:
-			m := node.NewMalicious(env, i, node.MaliciousConfig{Strategy: cfg.Strategy})
+			m := node.NewMalicious(env, i, node.MaliciousConfig{
+				Strategy:  cfg.Strategy,
+				RangeBias: cfg.AttackBias,
+			})
 			m.AnnounceAt(helloAt1 + sim.Time(hello.Uint64()%uint64(sim.Seconds(2))))
 			m.AnnounceAt(helloAt2 + sim.Time(hello.Uint64()%uint64(sim.Seconds(2))))
 			res.malicious = append(res.malicious, m)
