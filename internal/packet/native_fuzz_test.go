@@ -36,6 +36,10 @@ func seedFrames(tb testing.TB, key crypto.Key) [][]byte {
 		BeaconReply{Loc: geo.Point{X: 512.25, Y: 87.5}, Turnaround: 7_372, Echo: 3},
 		Alert{Target: 1009},
 		Revoke{Target: 42},
+		AlertUplink{Target: 77},
+		RevocationQuery{Target: 909},
+		RevocationStatus{Target: 77, Outcome: 2, Revoked: true},
+		RevocationStatus{Target: 12, Outcome: 0, Revoked: false},
 	}
 	frames := make([][]byte, 0, len(payloads))
 	for i, p := range payloads {

@@ -48,6 +48,18 @@ const (
 	TypeAlert
 	// TypeRevoke announces a revoked beacon node from the base station.
 	TypeRevoke
+	// TypeAlertUplink carries an alert from a detecting node to the
+	// networked base station (the revnet service): Src is the
+	// authenticated reporter, the payload names the accused target. The
+	// server answers with a TypeRevocationStatus echoing the request Seq.
+	TypeAlertUplink
+	// TypeRevocationQuery asks the networked base station whether a node
+	// has been revoked.
+	TypeRevocationQuery
+	// TypeRevocationStatus is the base station's reply to an alert uplink
+	// or a revocation query: the target's revocation state plus, for
+	// alerts, how the alert was handled.
+	TypeRevocationStatus
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +75,12 @@ func (t Type) String() string {
 		return "alert"
 	case TypeRevoke:
 		return "revoke"
+	case TypeAlertUplink:
+		return "alert-uplink"
+	case TypeRevocationQuery:
+		return "revocation-query"
+	case TypeRevocationStatus:
+		return "revocation-status"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -109,10 +127,31 @@ type Revoke struct {
 	Target ident.NodeID
 }
 
+// AlertUplink is the payload of TypeAlertUplink. The reporter is the
+// authenticated Src of the packet (signed under its base-station key), so
+// a compromised node cannot uplink alerts in another node's name.
+type AlertUplink struct {
+	Target ident.NodeID
+}
+
+// RevocationQuery is the payload of TypeRevocationQuery.
+type RevocationQuery struct {
+	Target ident.NodeID
+}
+
+// RevocationStatus is the payload of TypeRevocationStatus. Outcome is the
+// base station's revoke.Outcome for the alert being answered, or 0 (the
+// invalid outcome) when the status answers a plain query.
+type RevocationStatus struct {
+	Target  ident.NodeID
+	Outcome uint8
+	Revoked bool
+}
+
 // Packet is a decoded packet.
 type Packet struct {
 	Header  Header
-	Payload any // one of Hello, BeaconRequest, BeaconReply, Alert, Revoke
+	Payload any // one of Hello, BeaconRequest, BeaconReply, Alert, Revoke, AlertUplink, RevocationQuery, RevocationStatus
 }
 
 // Codec errors.
@@ -121,14 +160,35 @@ var (
 	ErrBadType     = errors.New("packet: unknown type")
 	ErrBadLength   = errors.New("packet: payload length mismatch")
 	ErrBadTag      = errors.New("packet: authentication failed")
+	ErrBadValue    = errors.New("packet: non-canonical field value")
 	ErrUnencodable = errors.New("packet: payload type not encodable")
 )
 
 const (
 	headerSize = 8
+	// HeaderSize is the fixed encoded header length — the prefix a stream
+	// transport must read before FrameLen can size the rest of the frame.
+	HeaderSize = headerSize
 	// MaxSize bounds encoded packets, mote-style.
 	MaxSize = 64
 )
+
+// FrameLen returns the total encoded length (header + payload + tag) of
+// the frame whose first HeaderSize bytes are in prefix. Stream transports
+// (the revnet TCP protocol) use it to delimit packets: read HeaderSize
+// bytes, then FrameLen-HeaderSize more. It validates the type and bounds
+// the declared payload so a malformed length byte cannot request an
+// oversized read.
+func FrameLen(prefix []byte) (int, error) {
+	if _, err := PeekHeader(prefix); err != nil {
+		return 0, err
+	}
+	n := int(prefix[7])
+	if headerSize+n+crypto.TagSize > MaxSize {
+		return 0, fmt.Errorf("%w: payload length %d exceeds MaxSize", ErrBadLength, n)
+	}
+	return headerSize + n + crypto.TagSize, nil
+}
 
 func payloadSize(p any) (int, error) {
 	switch p.(type) {
@@ -136,8 +196,10 @@ func payloadSize(p any) (int, error) {
 		return 0, nil
 	case BeaconReply:
 		return 8 + 8 + 4 + 2, nil
-	case Alert, Revoke:
+	case Alert, Revoke, AlertUplink, RevocationQuery:
 		return 2, nil
+	case RevocationStatus:
+		return 2 + 1 + 1, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnencodable, p)
 	}
@@ -155,6 +217,12 @@ func typeOf(p any) (Type, error) {
 		return TypeAlert, nil
 	case Revoke:
 		return TypeRevoke, nil
+	case AlertUplink:
+		return TypeAlertUplink, nil
+	case RevocationQuery:
+		return TypeRevocationQuery, nil
+	case RevocationStatus:
+		return TypeRevocationStatus, nil
 	default:
 		return 0, fmt.Errorf("%w: %T", ErrUnencodable, p)
 	}
@@ -203,6 +271,18 @@ func EncodeTo(dst []byte, src, dstID ident.NodeID, seq uint16, payload any, key 
 		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
 	case Revoke:
 		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+	case AlertUplink:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+	case RevocationQuery:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+	case RevocationStatus:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(p.Target))
+		buf = append(buf, p.Outcome)
+		var revoked byte
+		if p.Revoked {
+			revoked = 1
+		}
+		buf = append(buf, revoked)
 	}
 
 	tag := crypto.Sign(key, buf[start:])
@@ -223,7 +303,7 @@ func PeekHeader(data []byte) (Header, error) {
 		Dst:  ident.NodeID(binary.BigEndian.Uint16(data[3:5])),
 		Seq:  binary.BigEndian.Uint16(data[5:7]),
 	}
-	if h.Type < TypeHello || h.Type > TypeRevoke {
+	if h.Type < TypeHello || h.Type > TypeRevocationStatus {
 		return Header{}, fmt.Errorf("%w: %d", ErrBadType, data[0])
 	}
 	return h, nil
@@ -284,6 +364,30 @@ func Decode(data []byte, key crypto.Key) (Packet, error) {
 			return Packet{}, fmt.Errorf("%w: revoke payload %d", ErrBadLength, n)
 		}
 		pkt.Payload = Revoke{Target: ident.NodeID(binary.BigEndian.Uint16(payload))}
+	case TypeAlertUplink:
+		if n != 2 {
+			return Packet{}, fmt.Errorf("%w: alert-uplink payload %d", ErrBadLength, n)
+		}
+		pkt.Payload = AlertUplink{Target: ident.NodeID(binary.BigEndian.Uint16(payload))}
+	case TypeRevocationQuery:
+		if n != 2 {
+			return Packet{}, fmt.Errorf("%w: revocation-query payload %d", ErrBadLength, n)
+		}
+		pkt.Payload = RevocationQuery{Target: ident.NodeID(binary.BigEndian.Uint16(payload))}
+	case TypeRevocationStatus:
+		if n != 4 {
+			return Packet{}, fmt.Errorf("%w: revocation-status payload %d", ErrBadLength, n)
+		}
+		if payload[3] > 1 {
+			// Revoked is a bool on the wire: only 0/1 keep Decode∘Encode
+			// the identity (one canonical wire form per packet).
+			return Packet{}, fmt.Errorf("%w: revoked byte %d", ErrBadValue, payload[3])
+		}
+		pkt.Payload = RevocationStatus{
+			Target:  ident.NodeID(binary.BigEndian.Uint16(payload[0:2])),
+			Outcome: payload[2],
+			Revoked: payload[3] == 1,
+		}
 	}
 	return pkt, nil
 }

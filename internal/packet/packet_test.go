@@ -47,6 +47,10 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{"reply", BeaconReply{Loc: geo.Point{X: 123.5, Y: -7.25}, Turnaround: 9999, Echo: 17}},
 		{"alert", Alert{Target: 55}},
 		{"revoke", Revoke{Target: 56}},
+		{"alert-uplink", AlertUplink{Target: 57}},
+		{"revocation-query", RevocationQuery{Target: 58}},
+		{"revocation-status", RevocationStatus{Target: 58, Outcome: 2, Revoked: true}},
+		{"revocation-status-clear", RevocationStatus{Target: 59}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -179,7 +183,7 @@ func TestReplayedBytesDecodeUnderSameKey(t *testing.T) {
 }
 
 func TestTypeString(t *testing.T) {
-	for _, typ := range []Type{TypeHello, TypeBeaconRequest, TypeBeaconReply, TypeAlert, TypeRevoke} {
+	for _, typ := range []Type{TypeHello, TypeBeaconRequest, TypeBeaconReply, TypeAlert, TypeRevoke, TypeAlertUplink, TypeRevocationQuery, TypeRevocationStatus} {
 		if typ.String() == "" {
 			t.Errorf("empty String for type %d", typ)
 		}

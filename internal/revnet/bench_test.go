@@ -1,0 +1,100 @@
+package revnet
+
+// Loopback throughput benchmarks for the networked revocation path.
+// BenchmarkLoopbackAlert measures single-client request/reply latency;
+// BenchmarkLoopbackAlertClients measures aggregate alert throughput with
+// concurrent clients, which is the number EXPERIMENTS.md reports.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"beaconsec/internal/ident"
+	"beaconsec/internal/revoke"
+)
+
+// benchServerConfig keeps thresholds high so no target ever revokes and
+// every alert walks the accept path.
+func benchServerConfig() ServerConfig {
+	return ServerConfig{
+		Revoke: revoke.Config{ReportCap: 1 << 20, AlertThreshold: 1 << 20},
+		Master: testMaster(),
+	}
+}
+
+func BenchmarkLoopbackAlert(b *testing.B) {
+	_, addr := startServer(b, benchServerConfig())
+	c := newTestClient(b, addr, 1, testMaster())
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate targets so alerts are accepted, not duplicates.
+		target := ident.NodeID(1000 + i%30000)
+		if _, err := c.SendAlert(ctx, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopbackQuery(b *testing.B) {
+	_, addr := startServer(b, benchServerConfig())
+	c := newTestClient(b, addr, 1, testMaster())
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopbackAlertClients(b *testing.B) {
+	for _, clients := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			_, addr := startServer(b, benchServerConfig())
+			master := testMaster()
+			pool := make([]*Client, clients)
+			for i := range pool {
+				pool[i] = newTestClient(b, addr, ident.NodeID(1+i), master)
+			}
+			ctx := context.Background()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var failed atomic.Value
+			for w, c := range pool {
+				// Split b.N across the clients; the remainder goes to the
+				// first few so the total is exact.
+				n := b.N / clients
+				if w < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(c *Client, base, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						// Per-client target stripe keeps alerts accepted
+						// (no duplicates) and spreads shard load.
+						target := ident.NodeID(1000 + (base+i)%30000)
+						if _, err := c.SendAlert(ctx, target); err != nil {
+							failed.Store(err)
+							return
+						}
+					}
+				}(c, w*4000, n)
+			}
+			wg.Wait()
+			if err := failed.Load(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Package revnet is the networked analogue of the simulated revocation
+// path: a long-running base-station service (Server) that accepts
+// authenticated alert uplinks and answers revocation-status queries over
+// TCP, and a retrying Client beacon nodes use to reach it.
+//
+// Wire protocol. Each direction carries a stream of internal/packet
+// frames, self-delimiting because the fixed header encodes the payload
+// length (packet.FrameLen). Requests are TypeAlertUplink or
+// TypeRevocationQuery, addressed Src=node, Dst=ident.BaseStation, and
+// signed under the node's base-station key (paper §3.1: "each beacon node
+// shares a unique random key with the base station"); the server answers
+// every request with a TypeRevocationStatus signed under the same key,
+// echoing the request Seq. A frame that fails framing, authentication, or
+// addressing drops the connection: past the HMAC there are no malformed
+// messages, only hostile ones.
+package revnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"beaconsec/internal/packet"
+)
+
+// readFrame reads one length-delimited packet frame from br into buf
+// (which must have capacity ≥ packet.MaxSize) and returns the frame
+// bytes. It returns io.EOF only on a clean close at a frame boundary;
+// a connection cut mid-frame surfaces io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:packet.HeaderSize]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("revnet: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	total, err := packet.FrameLen(buf)
+	if err != nil {
+		return nil, err
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(br, buf[packet.HeaderSize:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("revnet: truncated frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// frameBuf returns a frame read buffer of the maximum frame size.
+func frameBuf() []byte { return make([]byte, packet.MaxSize) }

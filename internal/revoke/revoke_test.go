@@ -255,12 +255,122 @@ func TestUplinkInvalidLossPanics(t *testing.T) {
 }
 
 func TestOutcomeStrings(t *testing.T) {
-	for _, o := range []Outcome{OutcomeAccepted, OutcomeRevoked, OutcomeReporterCapped, OutcomeAlreadyRevoked, OutcomeSelfReport} {
-		if o.String() == "" {
-			t.Errorf("empty string for outcome %d", o)
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{OutcomeAccepted, "accepted"},
+		{OutcomeRevoked, "revoked"},
+		{OutcomeReporterCapped, "reporter-capped"},
+		{OutcomeAlreadyRevoked, "already-revoked"},
+		{OutcomeSelfReport, "self-report"},
+		{OutcomeDuplicate, "duplicate"},
+		{Outcome(0), "outcome(0)"}, // the invalid zero value
+		{Outcome(99), "outcome(99)"},
+		{Outcome(-3), "outcome(-3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(tt.o), got, tt.want)
 		}
 	}
-	if Outcome(0).String() != "outcome(0)" {
-		t.Errorf("zero outcome = %q", Outcome(0).String())
+}
+
+// TestEveryOutcomeReachableAndCounted drives one base station through a
+// scripted alert sequence that produces every Outcome value, checking the
+// returned outcome and the corresponding Stats counter at each step.
+func TestEveryOutcomeReachableAndCounted(t *testing.T) {
+	// τ = 0 (budget: one accepted alert per reporter), τ′ = 1 (revoked at
+	// the second accepted alert).
+	bs := NewBaseStation(cfg(0, 1))
+	steps := []struct {
+		name             string
+		reporter, target ident.NodeID
+		want             Outcome
+		wantStats        Stats
+	}{
+		{"self-report", 5, 5, OutcomeSelfReport,
+			Stats{Handled: 1, SelfReports: 1}},
+		{"first accepted", 1, 50, OutcomeAccepted,
+			Stats{Handled: 2, SelfReports: 1, Accepted: 1}},
+		{"duplicate pair", 1, 50, OutcomeDuplicate,
+			Stats{Handled: 3, SelfReports: 1, Accepted: 1, Duplicates: 1}},
+		{"second accusation revokes", 2, 50, OutcomeRevoked,
+			Stats{Handled: 4, SelfReports: 1, Accepted: 2, Duplicates: 1, Revocations: 1}},
+		{"already revoked", 3, 50, OutcomeAlreadyRevoked,
+			Stats{Handled: 5, SelfReports: 1, Accepted: 2, Duplicates: 1, Revocations: 1, AlreadyRevoked: 1}},
+		{"reporter capped", 1, 60, OutcomeReporterCapped,
+			Stats{Handled: 6, SelfReports: 1, Accepted: 2, Duplicates: 1, Revocations: 1, AlreadyRevoked: 1, ReporterCapped: 1}},
+	}
+	for _, tt := range steps {
+		if got := bs.HandleAlert(tt.reporter, tt.target); got != tt.want {
+			t.Fatalf("%s: HandleAlert(%v, %v) = %v, want %v", tt.name, tt.reporter, tt.target, got, tt.want)
+		}
+		if got := bs.Stats(); got != tt.wantStats {
+			t.Fatalf("%s: Stats = %+v, want %+v", tt.name, got, tt.wantStats)
+		}
+	}
+}
+
+// lossySeed finds a seed whose first attempts+1 draws at rate p are all
+// "lost", so an Uplink built on rng.New(seed) deterministically loses
+// every transmission attempt of one alert.
+func lossySeed(t *testing.T, p float64, attempts int) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 10_000; seed++ {
+		src := rng.New(seed)
+		allLost := true
+		for i := 0; i < attempts; i++ {
+			if !src.Bool(p) {
+				allLost = false
+				break
+			}
+		}
+		if allLost {
+			return seed
+		}
+	}
+	t.Fatal("no all-loss seed found")
+	return 0
+}
+
+// TestUplinkAllAttemptsLostDropsAlert pins the retry-exhaustion edge
+// case: when every attempt is lost the alert is dropped — the result
+// callback never fires and the base station's counters stay untouched.
+func TestUplinkAllAttemptsLostDropsAlert(t *testing.T) {
+	const lossRate, retries = 0.9, 2
+	seed := lossySeed(t, lossRate, retries+1)
+	sched := sim.New()
+	bs := NewBaseStation(cfg(10, 2))
+	u := NewUplink(sched, bs, rng.New(seed))
+	u.LossRate = lossRate
+	u.Retries = retries
+	fired := false
+	u.SendAlert(1, 50, func(Outcome) { fired = true })
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("result callback fired for a dropped alert")
+	}
+	if got := u.Stats(); got.Delivered != 0 || got.Lost != 1 || got.Attempts != retries+1 {
+		t.Errorf("uplink stats = %+v, want 0 delivered, 1 lost, %d attempts", got, retries+1)
+	}
+	if got := bs.Handled(); got != 0 {
+		t.Errorf("base station handled %d alerts, want 0", got)
+	}
+	if got := bs.AlertCount(50); got != 0 {
+		t.Errorf("AlertCount(50) = %d, want 0", got)
+	}
+	if got := bs.ReportCount(1); got != 0 {
+		t.Errorf("ReportCount(1) = %d, want 0", got)
+	}
+}
+
+func TestUplinkStatsMerge(t *testing.T) {
+	a := UplinkStats{Attempts: 5, Delivered: 3, Lost: 2}
+	a.Merge(UplinkStats{Attempts: 2, Delivered: 1, Lost: 1})
+	if a != (UplinkStats{Attempts: 7, Delivered: 4, Lost: 3}) {
+		t.Errorf("merged = %+v", a)
 	}
 }
