@@ -111,7 +111,7 @@ func TestFacadeLocalization(t *testing.T) {
 
 func TestFacadeFigures(t *testing.T) {
 	ids := beaconsec.Figures()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("Figures() = %v", ids)
 	}
 	r, err := beaconsec.RunFigure("fig05", beaconsec.ExperimentOptions{Quick: true, Seed: 1})

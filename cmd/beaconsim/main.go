@@ -5,12 +5,19 @@
 //
 //	beaconsim [-n 1000] [-nb 110] [-na 10] [-p 0.2] [-tau 10] [-tauprime 2]
 //	          [-pd 0.9] [-m 8] [-wormhole] [-collude] [-seed 1]
-//	          [-cache] [-cache-dir DIR]
+//	          [-queue auto|heap|wheel] [-cache] [-cache-dir DIR]
+//	beaconsim -metro [-nodes 100000] [-queue auto|heap|wheel] [-seed 1]
 //
 // -cache memoizes the run's result content-addressed by the full
 // configuration (including -seed): repeating an identical invocation
 // replays the stored result instead of simulating, and any flag change
 // recomputes. The cache directory is shared with 'figures -cache'.
+//
+// -metro switches to the memory-bounded metro-scale scenario: -nodes
+// sets the population (the deployment is streamed, per-node results are
+// never retained), and -queue selects the event queue — auto picks the
+// timing wheel at metro populations. Results are byte-identical across
+// queues.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"beaconsec/internal/analysis"
 	"beaconsec/internal/cache"
@@ -28,6 +36,7 @@ import (
 	"beaconsec/internal/experiment"
 	"beaconsec/internal/revoke"
 	"beaconsec/internal/scenario"
+	"beaconsec/internal/sim"
 )
 
 func main() {
@@ -53,11 +62,23 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	useCache := fs.Bool("cache", false, "memoize the run's result on disk (see -cache-dir)")
 	cacheDir := fs.String("cache-dir", filepath.Join("results", "cache"), "result cache directory")
+	metro := fs.Bool("metro", false, "run the memory-bounded metro-scale scenario instead")
+	nodes := fs.Int64("nodes", 100_000, "metro population (with -metro)")
+	queue := fs.String("queue", "auto", "simulation event queue: auto, heap, or wheel (results are byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	queueKind, err := sim.ParseQueueKind(*queue)
+	if err != nil {
+		return err
+	}
+
+	if *metro {
+		return runMetro(out, *nodes, queueKind, *seed)
+	}
 
 	cfg := scenario.Paper()
+	cfg.Queue = queueKind
 	cfg.Deploy.N = *n
 	cfg.Deploy.Nb = *nb
 	cfg.Deploy.Na = *na
@@ -110,6 +131,32 @@ func run(args []string, out io.Writer) error {
 		res.Localized, res.LocErrMean, res.LocErrMax)
 	fmt.Fprintf(out, "radio                %d transmissions, %d deliveries, %d collisions, %d request timeouts\n",
 		res.Medium.Transmissions, res.Medium.Deliveries, res.Medium.Collisions, res.Timeouts)
+	return nil
+}
+
+// runMetro executes one metro-scale run and prints its accounting. No
+// caching: a metro run is a single pass, and its identity knob (the
+// queue) deliberately never changes results.
+func runMetro(out io.Writer, nodes int64, queue sim.QueueKind, seed uint64) error {
+	cfg := scenario.MetroPaper(nodes, seed)
+	cfg.Queue = queue
+	start := time.Now()
+	res, err := scenario.RunMetro(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(out, "population           %d nodes, %d beacons (%d malicious), field %.0fx%.0f ft\n",
+		res.Nodes, res.Beacons, res.Malicious,
+		cfg.Deploy.Field.Width(), cfg.Deploy.Field.Height())
+	fmt.Fprintf(out, "queue                %s (max pending %d, p99 depth %.0f)\n",
+		queue, res.Sim.MaxPending, res.QueueDepth.Quantile(0.99))
+	fmt.Fprintf(out, "probes               %d sent: %d replied, %d timed out\n",
+		res.Probes, res.Replies, res.Timeouts)
+	fmt.Fprintf(out, "consistency check    %d malicious replies flagged (rate %.3f), %d benign flagged\n",
+		res.FlaggedMalicious, res.FlagRate, res.FlaggedBenign)
+	fmt.Fprintf(out, "events               %d fired in %.2fs wall clock (%.2fM events/s)\n",
+		res.Sim.Events, wall.Seconds(), float64(res.Sim.Events)/wall.Seconds()/1e6)
 	return nil
 }
 

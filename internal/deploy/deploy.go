@@ -101,7 +101,7 @@ func (c Config) Validate() error {
 	if !space.Valid() {
 		return fmt.Errorf("deploy: identity space overflows NodeID range (%d ids)", space.Total())
 	}
-	return nil
+	return checkGridSize(int64(c.N), c.Field, c.Range)
 }
 
 // Node is one deployed node.

@@ -1,0 +1,343 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"beaconsec/internal/geo"
+	"beaconsec/internal/rng"
+)
+
+// Metro-scale deployments (100k–1M nodes) cannot be materialized the way
+// Paper-scale ones are: a Deployment holds every Node plus a spatial
+// index with per-cell candidate slices, and the ident space caps out at
+// ~65k IDs anyway. The metro family instead generates nodes as a stream
+// of fixed-size chunks in index order (construction memory is
+// O(ChunkSize), independent of NumNodes) and summarizes the field as a
+// per-cell count grid (O(cells) memory, no per-node retention).
+
+// MetroNode is one generated node in a metro-scale deployment stream.
+// Indices are int64 — metro populations exceed both the ident.NodeID
+// space and 32-bit counters.
+type MetroNode struct {
+	Index int64
+	Kind  Kind
+	Loc   geo.Point
+}
+
+// MetroConfig parameterizes a metro-scale heterogeneous deployment:
+// a uniform background population plus Gaussian density clusters (the
+// "downtown cores" of a metro field).
+type MetroConfig struct {
+	// NumNodes is the total population.
+	NumNodes int64
+	// Field is the sensing field.
+	Field geo.Rect
+	// Range is the radio communication range in feet (also the count
+	// grid's cell size).
+	Range float64
+	// BeaconFrac is the fraction of nodes that are beacon nodes.
+	BeaconFrac float64
+	// MaliciousFrac is the fraction of beacon nodes that are compromised.
+	MaliciousFrac float64
+	// Clusters is the number of Gaussian density clusters; 0 means a
+	// purely uniform field.
+	Clusters int
+	// ClusterWeight is the probability a node is drawn from a cluster
+	// rather than the uniform background.
+	ClusterWeight float64
+	// ClusterSigma is the cluster standard deviation in feet.
+	ClusterSigma float64
+	// ChunkSize is the number of nodes per generated chunk; 0 selects
+	// metroChunkSize. Chunking never changes the generated nodes — the
+	// stream is one rng sequence consumed in index order.
+	ChunkSize int
+	// Seed drives placement, clustering, and the kind assignment.
+	Seed uint64
+}
+
+// metroChunkSize is the default streaming chunk: big enough to amortize
+// per-chunk overhead, small enough that a chunk is cache- and
+// allocation-trivial next to the count grid.
+const metroChunkSize = 8192
+
+// maxMetroNodes bounds NumNodes: beyond a billion nodes the int64 cell
+// counters and float64 index arithmetic here are no longer the
+// bottleneck worth reasoning about.
+const maxMetroNodes = 1 << 30
+
+// Metro returns a metro-scale configuration at the paper's §4 deployment
+// density (10⁻³ nodes/ft²) and population mix (11% beacons, of which
+// ~9% compromised — the paper's 110/1000 and 10/110), with four density
+// clusters holding half the population.
+func Metro(n int64, seed uint64) MetroConfig {
+	side := math.Sqrt(float64(n) * 1e3) // n / (1000 nodes per 1000×1000 ft)
+	return MetroConfig{
+		NumNodes:      n,
+		Field:         geo.Square(side),
+		Range:         150,
+		BeaconFrac:    0.11,
+		MaliciousFrac: 1.0 / 11,
+		Clusters:      4,
+		ClusterWeight: 0.5,
+		ClusterSigma:  side / 20,
+		Seed:          seed,
+	}
+}
+
+// Validate returns an error for inconsistent configurations, including a
+// *SizeError when the field/range geometry implies a count grid far
+// larger than the population it summarizes.
+func (c MetroConfig) Validate() error {
+	if c.NumNodes <= 0 || c.NumNodes > maxMetroNodes {
+		return fmt.Errorf("deploy: metro NumNodes = %d outside [1, %d]", c.NumNodes, int64(maxMetroNodes))
+	}
+	if c.Field.Width() <= 0 || c.Field.Height() <= 0 {
+		return fmt.Errorf("deploy: empty metro field %+v", c.Field)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("deploy: metro range %v must be positive", c.Range)
+	}
+	if c.BeaconFrac < 0 || c.BeaconFrac > 1 {
+		return fmt.Errorf("deploy: BeaconFrac %v outside [0,1]", c.BeaconFrac)
+	}
+	if c.MaliciousFrac < 0 || c.MaliciousFrac > 1 {
+		return fmt.Errorf("deploy: MaliciousFrac %v outside [0,1]", c.MaliciousFrac)
+	}
+	if c.Clusters < 0 {
+		return fmt.Errorf("deploy: Clusters = %d must be >= 0", c.Clusters)
+	}
+	if c.ClusterWeight < 0 || c.ClusterWeight > 1 {
+		return fmt.Errorf("deploy: ClusterWeight %v outside [0,1]", c.ClusterWeight)
+	}
+	if c.Clusters > 0 && c.ClusterWeight > 0 && c.ClusterSigma <= 0 {
+		return fmt.Errorf("deploy: ClusterSigma %v must be positive with clusters enabled", c.ClusterSigma)
+	}
+	if c.ChunkSize < 0 {
+		return fmt.Errorf("deploy: ChunkSize = %d must be >= 0", c.ChunkSize)
+	}
+	return checkGridSize(c.NumNodes, c.Field, c.Range)
+}
+
+func (c MetroConfig) chunkSize() int {
+	if c.ChunkSize > 0 {
+		return c.ChunkSize
+	}
+	return metroChunkSize
+}
+
+// Stream generates the deployment chunk by chunk in index order. The
+// chunk slice passed to visit is reused between calls — callers must
+// fold it into their accumulators, not retain it. A non-nil error from
+// visit aborts the stream and is returned.
+func (c MetroConfig) Stream(visit func(chunk []MetroNode) error) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	src := rng.New(c.Seed)
+	centers := make([]geo.Point, c.Clusters)
+	clusterSrc := src.Split("metro-clusters")
+	for i := range centers {
+		centers[i] = geo.Point{
+			X: clusterSrc.Uniform(c.Field.Min.X, c.Field.Max.X),
+			Y: clusterSrc.Uniform(c.Field.Min.Y, c.Field.Max.Y),
+		}
+	}
+	place := src.Split("metro-placement")
+	chunk := make([]MetroNode, 0, c.chunkSize())
+	for i := int64(0); i < c.NumNodes; i++ {
+		var loc geo.Point
+		if c.Clusters > 0 && place.Bool(c.ClusterWeight) {
+			ctr := centers[place.Intn(c.Clusters)]
+			loc = c.Field.Clamp(geo.Point{
+				X: ctr.X + place.NormFloat64()*c.ClusterSigma,
+				Y: ctr.Y + place.NormFloat64()*c.ClusterSigma,
+			})
+		} else {
+			loc = geo.Point{
+				X: place.Uniform(c.Field.Min.X, c.Field.Max.X),
+				Y: place.Uniform(c.Field.Min.Y, c.Field.Max.Y),
+			}
+		}
+		kind := KindSensor
+		if place.Bool(c.BeaconFrac) {
+			if place.Bool(c.MaliciousFrac) {
+				kind = KindMalicious
+			} else {
+				kind = KindBeacon
+			}
+		}
+		chunk = append(chunk, MetroNode{Index: i, Kind: kind, Loc: loc})
+		if len(chunk) == cap(chunk) {
+			if err := visit(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		return visit(chunk)
+	}
+	return nil
+}
+
+// MetroGrid is the memory-bounded spatial summary of a metro deployment:
+// per-cell population counts by kind. It answers density queries in time
+// proportional to the query disc's cell footprint and costs O(cells)
+// memory regardless of NumNodes — the grid never holds a candidate slice
+// per node.
+type MetroGrid struct {
+	Field geo.Rect
+	Cell  float64
+	Cols  int
+	Rows  int
+
+	TotalNodes     int64
+	TotalBeacons   int64
+	TotalMalicious int64
+
+	nodes     []int32
+	beacons   []int32
+	malicious []int32
+}
+
+// BuildGrid streams the deployment once and folds it into a fresh count
+// grid, chunk by chunk in index order (so the result is deterministic
+// and independent of ChunkSize).
+func (c MetroConfig) BuildGrid() (*MetroGrid, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := &MetroGrid{
+		Field: c.Field,
+		Cell:  c.Range,
+		Cols:  max(1, int(math.Ceil(c.Field.Width()/c.Range))),
+		Rows:  max(1, int(math.Ceil(c.Field.Height()/c.Range))),
+	}
+	g.nodes = make([]int32, g.Cols*g.Rows)
+	g.beacons = make([]int32, g.Cols*g.Rows)
+	g.malicious = make([]int32, g.Cols*g.Rows)
+	err := c.Stream(func(chunk []MetroNode) error {
+		for _, n := range chunk {
+			g.Add(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Add folds one node into the grid.
+func (g *MetroGrid) Add(n MetroNode) {
+	i := g.cellIndex(n.Loc)
+	g.nodes[i]++
+	g.TotalNodes++
+	switch n.Kind {
+	case KindBeacon:
+		g.beacons[i]++
+		g.TotalBeacons++
+	case KindMalicious:
+		g.beacons[i]++
+		g.malicious[i]++
+		g.TotalBeacons++
+		g.TotalMalicious++
+	}
+}
+
+func (g *MetroGrid) cellIndex(p geo.Point) int {
+	cx := int((p.X - g.Field.Min.X) / g.Cell)
+	cy := int((p.Y - g.Field.Min.Y) / g.Cell)
+	cx = min(max(cx, 0), g.Cols-1)
+	cy = min(max(cy, 0), g.Rows-1)
+	return cy*g.Cols + cx
+}
+
+// CountsNear estimates the population within radius r of p, by kind
+// (nodes, beacons — benign and malicious — and malicious alone). Each
+// cell overlapping the disc's bounding box contributes its counts scaled
+// by the fraction of a 2×2 subsample of the cell that falls inside the
+// disc — a deterministic O(r²/cell²) density estimate, not an exact
+// census (the grid deliberately does not know where nodes are within a
+// cell).
+func (g *MetroGrid) CountsNear(p geo.Point, r float64) (nodes, beacons, malicious float64) {
+	if r <= 0 {
+		return 0, 0, 0
+	}
+	cx0 := int((p.X - r - g.Field.Min.X) / g.Cell)
+	cx1 := int((p.X + r - g.Field.Min.X) / g.Cell)
+	cy0 := int((p.Y - r - g.Field.Min.Y) / g.Cell)
+	cy1 := int((p.Y + r - g.Field.Min.Y) / g.Cell)
+	cx0, cx1 = max(cx0, 0), min(cx1, g.Cols-1)
+	cy0, cy1 = max(cy0, 0), min(cy1, g.Rows-1)
+	r2 := r * r
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			// 2×2 subsample at the cell's quarter points.
+			baseX := g.Field.Min.X + float64(cx)*g.Cell
+			baseY := g.Field.Min.Y + float64(cy)*g.Cell
+			in := 0
+			for _, fx := range [2]float64{0.25, 0.75} {
+				for _, fy := range [2]float64{0.25, 0.75} {
+					q := geo.Point{X: baseX + fx*g.Cell, Y: baseY + fy*g.Cell}
+					if q.Dist2(p) <= r2 {
+						in++
+					}
+				}
+			}
+			if in == 0 {
+				continue
+			}
+			w := float64(in) / 4
+			i := cy*g.Cols + cx
+			nodes += w * float64(g.nodes[i])
+			beacons += w * float64(g.beacons[i])
+			malicious += w * float64(g.malicious[i])
+		}
+	}
+	return nodes, beacons, malicious
+}
+
+// SizeError reports a configuration whose spatial grid would dwarf the
+// population it serves — the silent-OOM shape (huge field, small range)
+// that used to allocate unchecked.
+type SizeError struct {
+	// Nodes is the configured population.
+	Nodes int64
+	// Cells is the number of grid cells the field/range geometry implies.
+	Cells int64
+	// Limit is the maximum allowed for this population.
+	Limit int64
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("deploy: field/range imply %d grid cells for %d nodes (limit %d): shrink the field or widen the range",
+		e.Cells, e.Nodes, e.Limit)
+}
+
+// Grid-size budget: a spatial index may allocate a fixed base plus a
+// bounded number of cells per node. Beyond that the grid is empty space
+// bookkeeping — a misconfiguration, not a deployment.
+const (
+	maxCellsBase    = 1 << 16
+	maxCellsPerNode = 64
+)
+
+// checkGridSize bounds the cell count a field/range geometry implies
+// against the population, returning a *SizeError when it is out of
+// proportion.
+func checkGridSize(nodes int64, field geo.Rect, rng float64) error {
+	cols := math.Ceil(field.Width()/rng) + 1
+	rows := math.Ceil(field.Height()/rng) + 1
+	cells := cols * rows
+	limit := float64(maxCellsBase) + float64(maxCellsPerNode)*float64(nodes)
+	if cells > limit {
+		return &SizeError{
+			Nodes: nodes,
+			Cells: int64(math.Min(cells, math.MaxInt64)),
+			Limit: int64(limit),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"beaconsec/internal/geo"
+)
+
+func collectMetro(t *testing.T, cfg MetroConfig) []MetroNode {
+	t.Helper()
+	var all []MetroNode
+	err := cfg.Stream(func(chunk []MetroNode) error {
+		all = append(all, chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	return all
+}
+
+func TestMetroStreamChunkSizeInvariant(t *testing.T) {
+	base := Metro(20_000, 7)
+	want := collectMetro(t, base)
+	if int64(len(want)) != base.NumNodes {
+		t.Fatalf("generated %d nodes, want %d", len(want), base.NumNodes)
+	}
+	for _, size := range []int{1, 97, 1000, 1 << 15} {
+		cfg := base
+		cfg.ChunkSize = size
+		got := collectMetro(t, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d nodes, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: node %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMetroStreamIndexOrderAndBounds(t *testing.T) {
+	cfg := Metro(10_000, 3)
+	next := int64(0)
+	err := cfg.Stream(func(chunk []MetroNode) error {
+		if len(chunk) > cfg.chunkSize() {
+			t.Fatalf("chunk of %d exceeds chunk size %d", len(chunk), cfg.chunkSize())
+		}
+		for _, n := range chunk {
+			if n.Index != next {
+				t.Fatalf("index %d out of order, want %d", n.Index, next)
+			}
+			next++
+			if !cfg.Field.Contains(n.Loc) {
+				t.Fatalf("node %d at %v outside field %+v", n.Index, n.Loc, cfg.Field)
+			}
+			if n.Kind != KindSensor && n.Kind != KindBeacon && n.Kind != KindMalicious {
+				t.Fatalf("node %d has kind %v", n.Index, n.Kind)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if next != cfg.NumNodes {
+		t.Fatalf("streamed %d nodes, want %d", next, cfg.NumNodes)
+	}
+}
+
+func TestMetroPopulationMix(t *testing.T) {
+	cfg := Metro(50_000, 11)
+	g, err := cfg.BuildGrid()
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	if g.TotalNodes != cfg.NumNodes {
+		t.Fatalf("TotalNodes = %d, want %d", g.TotalNodes, cfg.NumNodes)
+	}
+	beaconFrac := float64(g.TotalBeacons) / float64(g.TotalNodes)
+	if math.Abs(beaconFrac-cfg.BeaconFrac) > 0.01 {
+		t.Errorf("beacon fraction = %v, want ≈ %v", beaconFrac, cfg.BeaconFrac)
+	}
+	malFrac := float64(g.TotalMalicious) / float64(g.TotalBeacons)
+	if math.Abs(malFrac-cfg.MaliciousFrac) > 0.02 {
+		t.Errorf("malicious fraction = %v, want ≈ %v", malFrac, cfg.MaliciousFrac)
+	}
+}
+
+func TestMetroClustersSkewDensity(t *testing.T) {
+	// With half the population in four tight clusters, the densest grid
+	// cell must hold far more than the uniform expectation.
+	cfg := Metro(50_000, 5)
+	g, err := cfg.BuildGrid()
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	var peak int32
+	for _, c := range g.nodes {
+		if c > peak {
+			peak = c
+		}
+	}
+	uniform := float64(cfg.NumNodes) / float64(g.Cols*g.Rows)
+	if float64(peak) < 3*uniform {
+		t.Errorf("peak cell = %d, uniform expectation ≈ %.0f: clusters missing?", peak, uniform)
+	}
+}
+
+func TestMetroCountsNearApproximatesCensus(t *testing.T) {
+	cfg := Metro(20_000, 9)
+	g, err := cfg.BuildGrid()
+	if err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	center := geo.Point{
+		X: (cfg.Field.Min.X + cfg.Field.Max.X) / 2,
+		Y: (cfg.Field.Min.Y + cfg.Field.Max.Y) / 2,
+	}
+	r := 3 * cfg.Range
+	var exactNodes, exactBeacons float64
+	err = cfg.Stream(func(chunk []MetroNode) error {
+		for _, n := range chunk {
+			if n.Loc.Dist(center) <= r {
+				exactNodes++
+				if n.Kind.IsBeacon() {
+					exactBeacons++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	estNodes, estBeacons, _ := g.CountsNear(center, r)
+	if exactNodes < 100 {
+		t.Fatalf("census too small to compare (%v nodes)", exactNodes)
+	}
+	if rel := math.Abs(estNodes-exactNodes) / exactNodes; rel > 0.35 {
+		t.Errorf("CountsNear nodes = %v vs census %v (rel err %.2f)", estNodes, exactNodes, rel)
+	}
+	if rel := math.Abs(estBeacons-exactBeacons) / exactBeacons; rel > 0.45 {
+		t.Errorf("CountsNear beacons = %v vs census %v (rel err %.2f)", estBeacons, exactBeacons, rel)
+	}
+	if n, _, _ := g.CountsNear(center, 0); n != 0 {
+		t.Errorf("CountsNear(r=0) = %v, want 0", n)
+	}
+}
+
+func TestMetroValidate(t *testing.T) {
+	tests := []struct {
+		name     string
+		mut      func(*MetroConfig)
+		wantSize bool
+	}{
+		{"zero nodes", func(c *MetroConfig) { c.NumNodes = 0 }, false},
+		{"too many nodes", func(c *MetroConfig) { c.NumNodes = maxMetroNodes + 1 }, false},
+		{"empty field", func(c *MetroConfig) { c.Field = geo.Rect{} }, false},
+		{"zero range", func(c *MetroConfig) { c.Range = 0 }, false},
+		{"beacon frac > 1", func(c *MetroConfig) { c.BeaconFrac = 1.5 }, false},
+		{"malicious frac < 0", func(c *MetroConfig) { c.MaliciousFrac = -0.1 }, false},
+		{"negative clusters", func(c *MetroConfig) { c.Clusters = -1 }, false},
+		{"cluster weight > 1", func(c *MetroConfig) { c.ClusterWeight = 2 }, false},
+		{"zero sigma with clusters", func(c *MetroConfig) { c.ClusterSigma = 0 }, false},
+		{"negative chunk", func(c *MetroConfig) { c.ChunkSize = -1 }, false},
+		{"grid dwarfs population", func(c *MetroConfig) {
+			c.NumNodes = 100
+			c.Field = geo.Square(1e7)
+			c.Range = 150
+		}, true},
+		{"tiny range blows cell count", func(c *MetroConfig) {
+			c.NumNodes = 1000
+			c.Range = 0.05
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Metro(10_000, 1)
+			tt.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			var se *SizeError
+			if got := errors.As(err, &se); got != tt.wantSize {
+				t.Fatalf("SizeError = %v (err %v), want %v", got, err, tt.wantSize)
+			}
+			if tt.wantSize {
+				if se.Cells <= se.Limit || se.Nodes <= 0 || se.Error() == "" {
+					t.Errorf("malformed SizeError %+v", se)
+				}
+			}
+		})
+	}
+	if err := Metro(100_000, 1).Validate(); err != nil {
+		t.Errorf("Metro(100k) invalid: %v", err)
+	}
+}
+
+func TestConfigValidateGridBounds(t *testing.T) {
+	// The paper-scale Config shares the grid budget: a huge field with a
+	// small range must be rejected with the typed error instead of letting
+	// geo.NewIndex allocate the cell grid.
+	cfg := Paper()
+	cfg.Field = geo.Square(1e6)
+	cfg.Range = 10
+	err := cfg.Validate()
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("Validate = %v, want *SizeError", err)
+	}
+	if se.Nodes != int64(cfg.N) {
+		t.Errorf("SizeError.Nodes = %d, want %d", se.Nodes, cfg.N)
+	}
+	if err := Paper().Validate(); err != nil {
+		t.Errorf("paper config rejected: %v", err)
+	}
+}
+
+func TestMetroStreamAbortsOnVisitError(t *testing.T) {
+	cfg := Metro(10_000, 1)
+	cfg.ChunkSize = 100
+	sentinel := errors.New("stop")
+	calls := 0
+	err := cfg.Stream(func([]MetroNode) error {
+		calls++
+		if calls == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("visit called %d times after abort, want 3", calls)
+	}
+}
+
+func BenchmarkDeployMetroStream100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("metro-scale macro benchmark; run without -short")
+	}
+	cfg := Metro(100_000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var count int64
+		err := cfg.Stream(func(chunk []MetroNode) error {
+			count += int64(len(chunk))
+			return nil
+		})
+		if err != nil || count != cfg.NumNodes {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+}
+
+func BenchmarkDeployMetroGrid100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("metro-scale macro benchmark; run without -short")
+	}
+	cfg := Metro(100_000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := cfg.BuildGrid()
+		if err != nil || g.TotalNodes != cfg.NumNodes {
+			b.Fatalf("total=%d err=%v", g.TotalNodes, err)
+		}
+	}
+}

@@ -34,6 +34,7 @@ func ExtraDistributed(o Options) (Result, error) {
 	}
 	cfgAt := func(point int, distributed bool) scenario.Config {
 		cfg := scenario.Paper()
+		cfg.Queue = o.Queue
 		cfg.Strategy = analysis.StrategyForP(ps[point])
 		cfg.Collude = true
 		cfg.Distributed = distributed

@@ -15,6 +15,7 @@ import (
 	"beaconsec/internal/deploy"
 	"beaconsec/internal/harness"
 	"beaconsec/internal/scenario"
+	"beaconsec/internal/sim"
 	"beaconsec/internal/textplot"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	// detector with default parameters. The paper-figure runners ignore
 	// it: they reproduce the paper and always run its pipeline.
 	Detectors []core.DetectorSpec
+	// Queue selects the simulation event-queue implementation for every
+	// scenario the runners execute (sim.QueueAuto picks by population).
+	// Results are byte-identical for every choice — scenario.Config
+	// excludes it from cache keys — so this is purely a performance knob.
+	Queue sim.QueueKind
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -124,6 +130,7 @@ func All() []Runner {
 		{"extra-promotion", ExtraPromotion},
 		{"extra-distributed", ExtraDistributed},
 		{"extra-routing", ExtraRouting},
+		{"extra-metro", ExtraMetro},
 	}
 }
 

@@ -175,6 +175,20 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Clone returns a deep copy of h (nil for a nil receiver), for merge
+// targets that start from an existing snapshot: Merge into a nil
+// destination is a deliberate no-op, so accumulators adopt the first
+// non-nil histogram by cloning it.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.Bounds = append([]float64(nil), h.Bounds...)
+	c.Counts = append([]uint64(nil), h.Counts...)
+	return &c
+}
+
 // Span is one named phase of a run: a window of virtual time plus the
 // event and transmission counts that fell inside it. Spans are recorded by
 // the scenario layer at phase boundaries, so they are exact, deterministic

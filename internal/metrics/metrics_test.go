@@ -69,10 +69,27 @@ func TestHistogramBuckets(t *testing.T) {
 
 func TestHistogramNilNoOps(t *testing.T) {
 	var h *Histogram
-	h.Observe(3)          // must not panic
+	h.Observe(3)             // must not panic
 	h.Merge(NewHistogram(1)) // must not panic
 	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
 		t.Error("nil histogram reports nonzero stats")
+	}
+	if h.Clone() != nil {
+		t.Error("nil Clone() != nil")
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	c := h.Clone()
+	if !reflect.DeepEqual(c, h) {
+		t.Fatalf("Clone = %+v, want %+v", c, h)
+	}
+	c.Observe(100) // must not alias the original's buckets
+	if reflect.DeepEqual(c.Counts, h.Counts) || h.Count != 2 {
+		t.Errorf("Clone shares state with original: %+v vs %+v", c, h)
 	}
 }
 

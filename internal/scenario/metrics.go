@@ -72,6 +72,11 @@ type Metrics struct {
 	Detectors map[string]FilterMetrics `json:"detectors,omitempty"`
 	// Revocation counts base-station and uplink activity.
 	Revocation RevocationMetrics `json:"revocation"`
+	// QueueDepth is the scheduler's standing event population: the queue
+	// size observed after every schedule. Identical for the wheel and
+	// heap queues (both fire the same event sequence), so it merges
+	// across queue choices.
+	QueueDepth *metrics.Histogram `json:"queue_depth,omitempty"`
 	// Phases is the per-phase breakdown (announce/collude/detect/
 	// localize/drain) in virtual time.
 	Phases []metrics.Span `json:"phases,omitempty"`
@@ -96,6 +101,11 @@ func (m *Metrics) Merge(o Metrics) {
 		m.Detectors[det] = acc
 	}
 	m.Revocation.Merge(o.Revocation)
+	if m.QueueDepth == nil {
+		m.QueueDepth = o.QueueDepth.Clone()
+	} else {
+		m.QueueDepth.Merge(o.QueueDepth)
+	}
 	m.Phases = metrics.MergeSpans(m.Phases, o.Phases)
 }
 
@@ -127,12 +137,13 @@ func (f *FilterMetrics) addVerdicts(verdicts map[core.Verdict]int, sensorSide bo
 // collectInstrumentation assembles the run's Metrics snapshot after the
 // scheduler has drained.
 func (r *Result) collectInstrumentation(sched *sim.Scheduler, medium *phy.Medium,
-	uplink *revoke.Uplink, spans []metrics.Span) {
+	uplink *revoke.Uplink, spans []metrics.Span, depth *metrics.Histogram) {
 	m := Metrics{
-		Runs:   1,
-		Sim:    sched.Stats(),
-		Radio:  medium.Stats(),
-		Phases: spans,
+		Runs:       1,
+		Sim:        sched.Stats(),
+		Radio:      medium.Stats(),
+		QueueDepth: depth,
+		Phases:     spans,
 		Revocation: RevocationMetrics{
 			Base:   r.bs.Stats(),
 			Uplink: uplink.Stats(),

@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"beaconsec/internal/deploy"
+	"beaconsec/internal/metrics"
+	"beaconsec/internal/rng"
+	"beaconsec/internal/sim"
+)
+
+// The metro family scales the paper's detection workload to 100k–1M-node
+// fields. Run cannot go there: it materializes a Deployment, builds every
+// node's state machine, and retains per-node verdicts for the whole run —
+// and the ident space caps out at ~65k IDs anyway. RunMetro instead keeps
+// the workload memory-bounded end to end:
+//
+//   - The deployment is never materialized: deploy.MetroConfig streams
+//     nodes chunk by chunk, and the field survives only as the
+//     deploy.MetroGrid per-cell count summary.
+//   - Per-node outcomes are never retained: every probe exchange folds
+//     into constant-size accumulators (counters + fixed-bucket
+//     histograms) the moment it resolves.
+//   - Per-node randomness is index-split (rng.SplitIndex), so results are
+//     independent of chunk size and of everything but the seed.
+//
+// The probe model is the timer skeleton of the paper's §2 detection
+// round: each node runs Rounds probe exchanges against its local beacon
+// neighborhood; a probe schedules a reply (which cancels the timeout) or
+// is lost (the timeout fires); replies carry a declared-distance error
+// that the ε_max consistency check flags. That is exactly the
+// schedule/cancel/fire mix the event queue serves in a full run, at a
+// pending-event population proportional to the node count.
+
+// MetroConfig parameterizes one metro-scale run. Start from MetroPaper()
+// and adjust.
+type MetroConfig struct {
+	// Deploy is the streamed deployment.
+	Deploy deploy.MetroConfig
+	// Queue selects the scheduler's event-queue implementation. As in
+	// Config, the choice is a pure performance knob: results are pinned
+	// byte-identical across queues (TestRunMetroQueueIdentity), so it is
+	// excluded from any cache-key material.
+	Queue sim.QueueKind `json:"-"`
+	// Rounds is the number of probe exchanges each node runs.
+	Rounds int
+	// Spacing is the base virtual-time gap between a node's rounds (each
+	// node jitters around it).
+	Spacing sim.Time
+	// Timeout is the reply deadline of one probe.
+	Timeout sim.Time
+	// LossRate is the probability a probe gets no reply.
+	LossRate float64
+	// AttackBias is the distance enlargement of malicious replies in
+	// feet.
+	AttackBias float64
+	// MaxDistError is ε_max in feet (the consistency-check bound and the
+	// benign ranging-error envelope).
+	MaxDistError float64
+	// Seed drives the probe randomness (placement comes from
+	// Deploy.Seed).
+	Seed uint64
+}
+
+// MetroPaper returns the metro-scale configuration at the paper's
+// densities: n nodes at §4's deployment mix, three detection rounds, 2%
+// probe loss, ε = 10 ft, and a 1.5·ε attack bias (a subtle attacker, not
+// the unmistakable 5·ε default of the full scenario).
+func MetroPaper(n int64, seed uint64) MetroConfig {
+	return MetroConfig{
+		Deploy:       deploy.Metro(n, seed),
+		Rounds:       3,
+		Spacing:      sim.Millis(200),
+		Timeout:      sim.Millis(20),
+		LossRate:     0.02,
+		AttackBias:   15,
+		MaxDistError: 10,
+		Seed:         seed,
+	}
+}
+
+// Validate returns an error for inconsistent configurations.
+func (c MetroConfig) Validate() error {
+	if err := c.Deploy.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("scenario: metro Rounds = %d must be positive", c.Rounds)
+	}
+	if c.Spacing <= 0 {
+		return fmt.Errorf("scenario: metro Spacing = %d must be positive", c.Spacing)
+	}
+	if c.Timeout < 4 {
+		return fmt.Errorf("scenario: metro Timeout = %d must be >= 4 cycles", c.Timeout)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("scenario: metro LossRate %v outside [0,1)", c.LossRate)
+	}
+	if c.AttackBias < 0 {
+		return fmt.Errorf("scenario: metro AttackBias %v must be non-negative", c.AttackBias)
+	}
+	if c.MaxDistError <= 0 {
+		return fmt.Errorf("scenario: metro MaxDistError %v must be positive", c.MaxDistError)
+	}
+	return nil
+}
+
+// MetroResult is a metro run's full accounting: population totals from
+// the count grid, probe outcomes, flag counts by responder ground truth,
+// and the scheduler's instrumentation. Everything here is deterministic
+// in (Deploy.Seed, Seed) and identical across queue implementations.
+type MetroResult struct {
+	// Population (from the deployment grid).
+	Nodes     int64 `json:"nodes"`
+	Beacons   int64 `json:"beacons"`
+	Malicious int64 `json:"malicious"`
+
+	// Probe outcomes.
+	Probes          int64 `json:"probes"`
+	Replies         int64 `json:"replies"`
+	Timeouts        int64 `json:"timeouts"`
+	MaliciousProbes int64 `json:"malicious_probes"`
+
+	// FlaggedMalicious / FlaggedBenign count ε_max consistency-check hits
+	// by responder ground truth; FlagRate = FlaggedMalicious /
+	// MaliciousProbes.
+	FlaggedMalicious int64   `json:"flagged_malicious"`
+	FlaggedBenign    int64   `json:"flagged_benign"`
+	FlagRate         float64 `json:"flag_rate"`
+
+	// Sim is the scheduler snapshot (MaxPending is the standing event
+	// population's high-water mark).
+	Sim sim.Stats `json:"sim"`
+	// QueueDepth is the queue size observed after every schedule.
+	QueueDepth *metrics.Histogram `json:"queue_depth"`
+	// RTT is the reply round-trip distribution in cycles.
+	RTT *metrics.Histogram `json:"rtt"`
+}
+
+// metroChain is one node's probe-round state machine; everything else a
+// probe needs is drawn from src when the event fires.
+type metroChain struct {
+	src   *rng.Source
+	pMal  float64 // local malicious fraction of beacons, from the grid
+	round int
+}
+
+// RunMetro executes one metro-scale run. Peak memory is O(nodes) only in
+// the pending-event population and the per-node chain state (a rng state
+// plus two words), never in retained results: accumulators are
+// constant-size and the deployment exists only as its count grid.
+func RunMetro(cfg MetroConfig) (*MetroResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := cfg.Deploy.BuildGrid()
+	if err != nil {
+		return nil, err
+	}
+	depth := sim.DepthHistogram()
+	sched := sim.NewWithConfig(sim.Config{
+		Queue:       cfg.Queue,
+		PendingHint: cfg.Deploy.NumNodes,
+		Depth:       depth,
+	})
+	res := &MetroResult{
+		Nodes:      grid.TotalNodes,
+		Beacons:    grid.TotalBeacons,
+		Malicious:  grid.TotalMalicious,
+		QueueDepth: depth,
+		RTT:        metrics.NewHistogram(metrics.ExpBounds(64, 2, 16)...),
+	}
+	root := rng.New(cfg.Seed).Split("metro-probes")
+	rttSpan := int(cfg.Timeout) / 2 // replies always beat the timeout
+
+	err = cfg.Deploy.Stream(func(chunk []deploy.MetroNode) error {
+		for _, n := range chunk {
+			ch := &metroChain{src: root.SplitIndex(uint64(n.Index))}
+			if _, b, m := grid.CountsNear(n.Loc, cfg.Deploy.Range); b > 0 {
+				ch.pMal = m / b
+			}
+			var probe func()
+			done := func() {
+				ch.round++
+				if ch.round < cfg.Rounds {
+					gap := cfg.Spacing + sim.Time(ch.src.Uint64()%uint64(cfg.Spacing/4+1))
+					sched.After(gap, probe)
+				}
+			}
+			probe = func() {
+				res.Probes++
+				isMal := ch.src.Bool(ch.pMal)
+				lost := ch.src.Bool(cfg.LossRate)
+				declaredErr := ch.src.Uniform(-cfg.MaxDistError, cfg.MaxDistError)
+				if isMal {
+					res.MaliciousProbes++
+					declaredErr += cfg.AttackBias
+				}
+				rtt := sim.Time(1 + ch.src.Intn(rttSpan))
+				timeout := sched.After(cfg.Timeout, func() {
+					res.Timeouts++
+					done()
+				})
+				if lost {
+					return
+				}
+				sched.After(rtt, func() {
+					res.Replies++
+					res.RTT.Observe(float64(rtt))
+					if math.Abs(declaredErr) > cfg.MaxDistError {
+						if isMal {
+							res.FlaggedMalicious++
+						} else {
+							res.FlaggedBenign++
+						}
+					}
+					timeout.Cancel()
+					done()
+				})
+			}
+			// Stagger the first round across one spacing window so the
+			// field does not probe in lockstep.
+			start := sim.Time(1 + ch.src.Uint64()%uint64(cfg.Spacing))
+			sched.At(start, probe)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Run(); err != nil {
+		return nil, fmt.Errorf("scenario: metro scheduler stopped: %w", err)
+	}
+	if res.MaliciousProbes > 0 {
+		res.FlagRate = float64(res.FlaggedMalicious) / float64(res.MaliciousProbes)
+	}
+	res.Sim = sched.Stats()
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"beaconsec/internal/sim"
+)
+
+func metroN(t *testing.T) int64 {
+	t.Helper()
+	if testing.Short() {
+		return 2_000
+	}
+	return 10_000
+}
+
+func TestRunMetroBasics(t *testing.T) {
+	cfg := MetroPaper(metroN(t), 1)
+	res, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != cfg.Deploy.NumNodes {
+		t.Fatalf("Nodes = %d, want %d", res.Nodes, cfg.Deploy.NumNodes)
+	}
+	if res.Beacons == 0 || res.Malicious == 0 {
+		t.Fatalf("degenerate population: %d beacons, %d malicious", res.Beacons, res.Malicious)
+	}
+	wantProbes := res.Nodes * int64(cfg.Rounds)
+	if res.Probes != wantProbes {
+		t.Errorf("Probes = %d, want %d (every node runs every round)", res.Probes, wantProbes)
+	}
+	if res.Replies+res.Timeouts != res.Probes {
+		t.Errorf("replies %d + timeouts %d != probes %d", res.Replies, res.Timeouts, res.Probes)
+	}
+	lossRate := float64(res.Timeouts) / float64(res.Probes)
+	if lossRate < cfg.LossRate/2 || lossRate > cfg.LossRate*2 {
+		t.Errorf("timeout rate = %v, configured loss %v", lossRate, cfg.LossRate)
+	}
+	// A 1.5·ε bias shifts the declared error to [0.5ε, 2.5ε]: 3/4 of
+	// malicious replies exceed ε_max.
+	if res.FlagRate < 0.6 || res.FlagRate > 0.9 {
+		t.Errorf("FlagRate = %v, want ≈ 0.75 for bias 1.5·ε", res.FlagRate)
+	}
+	if res.FlaggedBenign != 0 {
+		t.Errorf("FlaggedBenign = %d: benign error is bounded by ε_max", res.FlaggedBenign)
+	}
+	if res.Sim.MaxPending < res.Nodes/2 {
+		t.Errorf("MaxPending = %d, want a standing population near %d", res.Sim.MaxPending, res.Nodes)
+	}
+	if res.QueueDepth.Count == 0 || res.RTT.Count != uint64(res.Replies) {
+		t.Errorf("histograms unfilled: depth %d, rtt %d (replies %d)",
+			res.QueueDepth.Count, res.RTT.Count, res.Replies)
+	}
+}
+
+// TestRunMetroQueueIdentity pins the tentpole contract at the scenario
+// level: the wheel and the heap produce byte-identical metro results —
+// every counter, both histograms, and the scheduler stats.
+func TestRunMetroQueueIdentity(t *testing.T) {
+	cfg := MetroPaper(metroN(t), 7)
+	cfg.Queue = sim.QueueHeap
+	heap, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Queue = sim.QueueWheel
+	wheel, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := json.Marshal(heap)
+	wb, _ := json.Marshal(wheel)
+	if string(hb) != string(wb) {
+		t.Fatalf("wheel diverged from heap:\n--- heap\n%s\n--- wheel\n%s", hb, wb)
+	}
+}
+
+// TestRunQueueIdentity pins the same contract on the full figure
+// pipeline: scenario.Run under the wheel is byte-identical to the heap,
+// including the instrumentation snapshot.
+func TestRunQueueIdentity(t *testing.T) {
+	cfg := Paper()
+	cfg.CalibrationTrials = 200
+	cfg.Queue = sim.QueueHeap
+	heap, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Queue = sim.QueueWheel
+	wheel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.DetectionRate != wheel.DetectionRate ||
+		heap.FalsePositiveRate != wheel.FalsePositiveRate ||
+		heap.LocErrMean != wheel.LocErrMean ||
+		heap.Localized != wheel.Localized ||
+		heap.Timeouts != wheel.Timeouts ||
+		heap.Medium != wheel.Medium {
+		t.Fatalf("headline results diverged:\nheap  %+v\nwheel %+v", heap, wheel)
+	}
+	hb, _ := json.Marshal(heap.Metrics)
+	wb, _ := json.Marshal(wheel.Metrics)
+	if string(hb) != string(wb) {
+		t.Fatalf("instrumentation diverged:\n--- heap\n%s\n--- wheel\n%s", hb, wb)
+	}
+}
+
+func TestRunMetroDeterministic(t *testing.T) {
+	cfg := MetroPaper(metroN(t), 3)
+	a, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 99
+	c, err := RunMetro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Replies == c.Replies && a.FlaggedMalicious == c.FlaggedMalicious {
+		t.Error("different seeds produced identical probe outcomes (suspicious)")
+	}
+}
+
+func TestRunMetroValidates(t *testing.T) {
+	cfg := MetroPaper(1000, 1)
+	cfg.Rounds = 0
+	if _, err := RunMetro(cfg); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	cfg = MetroPaper(1000, 1)
+	cfg.Deploy.Range = 0
+	if _, err := RunMetro(cfg); err == nil {
+		t.Error("invalid deployment accepted")
+	}
+	cfg = MetroPaper(1000, 1)
+	cfg.Timeout = 2
+	if _, err := RunMetro(cfg); err == nil {
+		t.Error("sub-cycle timeout accepted")
+	}
+	cfg = MetroPaper(1000, 1)
+	cfg.LossRate = 1
+	if _, err := RunMetro(cfg); err == nil {
+		t.Error("certain loss accepted")
+	}
+}
+
+func BenchmarkRunMetro10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("metro-scale macro benchmark; run without -short")
+	}
+	for _, kind := range []sim.QueueKind{sim.QueueHeap, sim.QueueWheel} {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := MetroPaper(10_000, 1)
+			cfg.Queue = kind
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMetro(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -110,6 +110,14 @@ type Config struct {
 	// Seed drives everything except deployment placement (Deploy.Seed).
 	Seed uint64
 
+	// Queue selects the scheduler's event-queue implementation
+	// (sim.QueueAuto picks by population). The wheel and the heap are
+	// pinned byte-identical — same event order, same results — so the
+	// choice is a pure performance knob and is excluded from cache keys
+	// (json:"-"): trials cached under one queue satisfy runs under the
+	// other.
+	Queue sim.QueueKind `json:"-"`
+
 	// bruteForceMedium is a test hook: it forces the radio medium's
 	// historical O(N) receiver scan instead of the spatial grid (see
 	// phy.Config.BruteForce). The two paths are pinned byte-identical
@@ -264,7 +272,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	dep := deploy.New(cfg.Deploy)
 	src := rng.New(cfg.Seed)
-	sched := sim.New()
+	// Queue depth is always observed: the histogram is pure accounting
+	// (identical for wheel and heap since both fire the same event
+	// sequence), so keeping it on preserves result identity across queues.
+	depth := sim.DepthHistogram()
+	sched := sim.NewWithConfig(sim.Config{
+		Queue:       cfg.Queue,
+		PendingHint: int64(cfg.Deploy.N),
+		Depth:       depth,
+	})
 	medium := phy.NewMedium(sched, src.Split("medium"), phy.Config{
 		Range:      cfg.Deploy.Range,
 		Ranging:    phy.BoundedUniform{MaxError: cfg.MaxDistError},
@@ -460,7 +476,7 @@ func Run(cfg Config) (*Result, error) {
 	})
 
 	res.Medium = medium.Stats()
-	res.collectInstrumentation(sched, medium, uplink, spans)
+	res.collectInstrumentation(sched, medium, uplink, spans, depth)
 	res.collectMetrics(cfg, dep, maliciousByID)
 	return res, nil
 }

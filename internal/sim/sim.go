@@ -10,11 +10,17 @@
 //
 // Determinism: events at equal times fire in scheduling order (FIFO),
 // which combined with the seeded rng package makes every run reproducible.
+// The scheduler offers two event-queue implementations behind one
+// interface — a binary min-heap and a hierarchical timing wheel — pinned
+// to the identical (at, seq) total order (see DESIGN.md §13), so queue
+// choice is a performance knob, never a behavioral one.
 package sim
 
 import (
 	"errors"
 	"fmt"
+
+	"beaconsec/internal/metrics"
 )
 
 // Time is a point in virtual time, in CPU clock cycles.
@@ -58,8 +64,12 @@ type event struct {
 	seq uint64 // tie-break: FIFO among equal times
 	gen uint64 // recycle generation, checked by Handle.Cancel
 	fn  func()
-	// index in the heap; -1 once popped.
+	// index is ≥ 0 while queued and -1 once popped. The heap stores its
+	// slot here; the wheel only distinguishes queued from popped.
 	index int
+	// next chains events in a timing-wheel slot (intrusive list, so the
+	// wheel never allocates per pending event). Unused by the heap.
+	next *event
 }
 
 // Handle identifies a scheduled event so it can be cancelled. A Handle
@@ -84,9 +94,32 @@ func (h Handle) Cancel() bool {
 	return true
 }
 
+// queue is the event-queue contract the Scheduler drives. Both
+// implementations deliver events in ascending (at, seq) order — the
+// determinism contract — and keep cancelled events enqueued until popped
+// (lazy cancellation), so size() and pop sequences are identical across
+// implementations.
+type queue interface {
+	// push enqueues ev (setting ev.index ≥ 0). ev.at may lie before a
+	// previously popped event's time only if the scheduler allows it
+	// (RunUntil advances the clock past pending events' times, never the
+	// reverse), but implementations must accept any at ≥ the last pop.
+	push(ev *event)
+	// pop removes and returns the minimum event by (at, seq), setting its
+	// index to -1. Call only when size() > 0.
+	pop() *event
+	// size returns the number of queued events, including cancelled ones
+	// not yet popped.
+	size() int64
+	// nextAt returns the time of the minimum queued event. ok is false
+	// when the queue is empty.
+	nextAt() (t Time, ok bool)
+}
+
 // eventQueue is a binary min-heap ordered by (at, seq). It is typed
 // (not container/heap) so sift operations avoid interface dispatch on
-// the kernel's hottest path.
+// the kernel's hottest path. It is the oracle implementation the timing
+// wheel is pinned against.
 type eventQueue []*event
 
 func (q eventQueue) less(i, j int) bool {
@@ -147,31 +180,149 @@ func (q *eventQueue) pop() *event {
 	return ev
 }
 
+func (q *eventQueue) size() int64 { return int64(len(*q)) }
+
+func (q *eventQueue) nextAt() (Time, bool) {
+	if len(*q) == 0 {
+		return 0, false
+	}
+	return (*q)[0].at, true
+}
+
+// QueueKind selects the Scheduler's event-queue implementation.
+type QueueKind uint8
+
+const (
+	// QueueAuto picks the heap for small schedules and the timing wheel
+	// when Config.PendingHint predicts a large standing event population
+	// (≥ autoWheelThreshold pending events).
+	QueueAuto QueueKind = iota
+	// QueueHeap forces the binary min-heap (the oracle).
+	QueueHeap
+	// QueueWheel forces the hierarchical timing wheel.
+	QueueWheel
+)
+
+// autoWheelThreshold is the PendingHint at which QueueAuto switches from
+// the heap to the wheel: around a few thousand standing events the heap's
+// O(log n) sifts lose to the wheel's O(1) slot filing.
+const autoWheelThreshold = 4096
+
+// String implements fmt.Stringer.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueAuto:
+		return "auto"
+	case QueueHeap:
+		return "heap"
+	case QueueWheel:
+		return "wheel"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", uint8(k))
+	}
+}
+
+// ParseQueueKind converts a flag value ("auto", "heap", "wheel") to a
+// QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "auto", "":
+		return QueueAuto, nil
+	case "heap":
+		return QueueHeap, nil
+	case "wheel":
+		return QueueWheel, nil
+	default:
+		return QueueAuto, fmt.Errorf("sim: unknown queue kind %q (want auto, heap or wheel)", s)
+	}
+}
+
+// Config parameterizes a Scheduler. The zero value reproduces New():
+// auto queue selection with no hint, which is the heap.
+type Config struct {
+	// Queue selects the event-queue implementation.
+	Queue QueueKind
+	// PendingHint is the expected steady-state number of pending events;
+	// QueueAuto selects the wheel at or above autoWheelThreshold. Zero
+	// means unknown.
+	PendingHint int64
+	// Depth, when non-nil, observes the queue depth after every schedule
+	// — the standing event population histogram. Nil disables (no cost
+	// beyond one predictable branch).
+	Depth *metrics.Histogram
+}
+
+// DepthHistogram returns a histogram sized for Config.Depth observations:
+// geometric buckets from 1 to ~8M pending events, covering everything
+// from paper-scale runs to metro-scale standing populations.
+func DepthHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(metrics.ExpBounds(1, 2, 24)...)
+}
+
 // Scheduler owns the virtual clock and the event queue. The zero value is
-// ready to use. Scheduler is not safe for concurrent use: the simulation
-// is single-threaded by design (determinism), and experiments parallelize
-// across independent Scheduler instances instead.
+// ready to use (heap queue). Scheduler is not safe for concurrent use: the
+// simulation is single-threaded by design (determinism), and experiments
+// parallelize across independent Scheduler instances instead.
 type Scheduler struct {
 	now        Time
 	seq        uint64
-	queue      eventQueue
+	q          queue
 	free       []*event // recycled event structs, see event.gen
 	stopped    bool
 	fired      uint64
 	cancelled  uint64
-	maxPending int
+	maxPending int64
+	depth      *metrics.Histogram
 }
 
 // initialQueueCap pre-sizes the event queue and free list so a typical
 // protocol run reaches its steady state without growing either slice.
 const initialQueueCap = 256
 
-// New returns a Scheduler starting at time zero.
+// New returns a Scheduler starting at time zero, using the min-heap queue.
 func New() *Scheduler {
-	return &Scheduler{
-		queue: make(eventQueue, 0, initialQueueCap),
-		free:  make([]*event, 0, initialQueueCap),
+	return NewWithConfig(Config{Queue: QueueHeap})
+}
+
+// NewWithConfig returns a Scheduler starting at time zero with the given
+// queue selection and instrumentation.
+func NewWithConfig(cfg Config) *Scheduler {
+	kind := cfg.Queue
+	if kind == QueueAuto {
+		if cfg.PendingHint >= autoWheelThreshold {
+			kind = QueueWheel
+		} else {
+			kind = QueueHeap
+		}
 	}
+	// PendingHint also presizes the free list (and the heap's slice) so a
+	// metro-scale run reaches steady state without reallocation churn.
+	capHint := int64(initialQueueCap)
+	if cfg.PendingHint > capHint {
+		capHint = min(cfg.PendingHint, 1<<22)
+	}
+	var q queue
+	if kind == QueueWheel {
+		q = newWheelQueue()
+	} else {
+		eq := make(eventQueue, 0, capHint)
+		q = &eq
+	}
+	return &Scheduler{
+		q:     q,
+		free:  make([]*event, 0, capHint),
+		depth: cfg.Depth,
+	}
+}
+
+// lazyQueue returns the scheduler's queue, initializing a heap for a
+// zero-value Scheduler.
+func (s *Scheduler) lazyQueue() queue {
+	if s.q == nil {
+		eq := make(eventQueue, 0, initialQueueCap)
+		s.q = &eq
+	}
+	return s.q
 }
 
 // recycle returns a popped event to the free list. Bumping the
@@ -189,8 +340,14 @@ func (s *Scheduler) Now() Time { return s.now }
 // test metric.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of events still queued. It is an int64 so
+// million-event schedules cannot truncate on 32-bit builds.
+func (s *Scheduler) Pending() int64 {
+	if s.q == nil {
+		return 0
+	}
+	return s.q.size()
+}
 
 // Stats is the scheduler's counter snapshot, for run telemetry.
 type Stats struct {
@@ -201,8 +358,9 @@ type Stats struct {
 	// Cancelled is the number of events removed via Handle.Cancel before
 	// firing.
 	Cancelled uint64 `json:"cancelled"`
-	// MaxPending is the high-water mark of the event queue.
-	MaxPending int `json:"max_pending"`
+	// MaxPending is the high-water mark of the event queue. int64 for the
+	// same 32-bit-safety reason as Pending.
+	MaxPending int64 `json:"max_pending"`
 	// VirtualCycles is the current virtual clock, in CPU cycles.
 	VirtualCycles uint64 `json:"virtual_cycles"`
 }
@@ -251,10 +409,13 @@ func (s *Scheduler) At(at Time, fn func()) Handle {
 		ev = &event{at: at, seq: s.seq, fn: fn}
 	}
 	s.seq++
-	s.queue.push(ev)
-	if len(s.queue) > s.maxPending {
-		s.maxPending = len(s.queue)
+	q := s.lazyQueue()
+	q.push(ev)
+	n := q.size()
+	if n > s.maxPending {
+		s.maxPending = n
 	}
+	s.depth.Observe(float64(n))
 	return Handle{ev: ev, s: s, gen: ev.gen}
 }
 
@@ -266,8 +427,11 @@ func (s *Scheduler) After(delay Time, fn func()) Handle {
 // Step fires the next event, advancing the clock to its time. It reports
 // whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := s.queue.pop()
+	if s.q == nil {
+		return false
+	}
+	for s.q.size() > 0 {
+		ev := s.q.pop()
 		if ev.fn == nil { // cancelled
 			s.recycle(ev)
 			continue
@@ -300,7 +464,11 @@ func (s *Scheduler) Run() error {
 // to deadline. Events scheduled beyond deadline remain queued.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for !s.stopped && s.q != nil {
+		at, ok := s.q.nextAt()
+		if !ok || at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < deadline {
