@@ -112,3 +112,59 @@ func TestRunDetectorFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMetroReport exercises the -metro path end to end: the report
+// carries the throughput and peak-memory lines (satellite contract), and
+// a parallel invocation is identical to the serial one once the
+// machine-dependent queue/events/memory lines are stripped — the exact
+// comparison the CI parallel-identity leg performs on the built binary.
+func TestRunMetroReport(t *testing.T) {
+	stripMachine := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "queue") ||
+				strings.HasPrefix(line, "events") ||
+				strings.HasPrefix(line, "memory") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	runMetroOnce := func(workers string) string {
+		t.Helper()
+		var b strings.Builder
+		args := []string{"-metro", "-nodes", "3000", "-seed", "2", "-metro-workers", workers}
+		if err := run(args, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	serial := runMetroOnce("1")
+	for _, want := range []string{
+		"population", "probes", "consistency check",
+		"events/s", "GOMAXPROCS", "memory", "peak footprint",
+		"x 1 worker(s)",
+	} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("metro report missing %q:\n%s", want, serial)
+		}
+	}
+
+	parallel := runMetroOnce("4")
+	if !strings.Contains(parallel, "x 4 worker(s)") {
+		t.Errorf("parallel report does not name the worker count:\n%s", parallel)
+	}
+	if stripMachine(serial) != stripMachine(parallel) {
+		t.Fatalf("parallel metro report diverged from serial:\n--- serial\n%s\n--- parallel\n%s",
+			serial, parallel)
+	}
+}
+
+func TestRunMetroRejectsNegativeWorkers(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-metro", "-nodes", "1000", "-metro-workers", "-1"}, &b); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}

@@ -11,6 +11,7 @@
 //
 //	figures [-fig all|fig04,fig12,...] [-quick] [-seed N] [-out DIR]
 //	        [-workers N] [-progress] [-json FILE] [-queue auto|heap|wheel]
+//	        [-metro-workers K]
 //	        [-detectors paper,mahalanobis{threshold=2.5},ml]
 //	        [-cache] [-cache-dir DIR] [-cache-clear]
 //	        [-cpuprofile FILE] [-memprofile FILE]
@@ -66,6 +67,7 @@ func run(args []string, out io.Writer) (err error) {
 	progress := fs.Bool("progress", true, "print per-figure trial progress to stderr")
 	jsonOut := fs.String("json", "", "write results as JSON to FILE ('-' for stdout)")
 	queue := fs.String("queue", "auto", "simulation event queue: auto, heap, or wheel (results are byte-identical)")
+	metroWorkers := fs.Int("metro-workers", 0, "shard count for extra-metro's parallel identity leg (0 = default; identity-pinned results are byte-identical at any value)")
 	useCache := fs.Bool("cache", false, "memoize simulation trials on disk (see -cache-dir)")
 	cacheDir := fs.String("cache-dir", filepath.Join("results", "cache"), "trial cache directory")
 	cacheClear := fs.Bool("cache-clear", false, "delete the trial cache before running")
@@ -140,7 +142,7 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Cache: trialCache, Queue: queueKind}
+	opts := experiment.Options{Quick: *quick, Seed: *seed, Workers: *workers, Cache: trialCache, Queue: queueKind, MetroWorkers: *metroWorkers}
 	if *detectors != "" {
 		specs, derr := parseDetectors(*detectors)
 		if derr != nil {

@@ -181,6 +181,62 @@ func (c MetroConfig) Stream(visit func(chunk []MetroNode) error) error {
 	return nil
 }
 
+// IndexRange is a half-open [Lo, Hi) range of node indices — one shard of
+// a partitioned metro deployment.
+type IndexRange struct {
+	Lo, Hi int64
+}
+
+// Len returns the number of indices in the range.
+func (r IndexRange) Len() int64 { return r.Hi - r.Lo }
+
+// ShardRanges partitions [0, NumNodes) into at most k contiguous,
+// ascending index ranges whose union is the whole population. Boundaries
+// are aligned to the streaming chunk size, so every chunk Stream emits
+// lands wholly inside one shard — StreamShards routes chunks without ever
+// splitting one. Fewer than k ranges come back when the population has
+// fewer chunks than shards; k < 1 is treated as 1.
+//
+// The ranges are index-aligned, not space-aligned: the generator places
+// nodes independently per index, so any contiguous index range is an
+// unbiased spatial sample of the field. Consumers that need spatial
+// affinity (cross-shard radio in a future parallel protocol stack) query
+// the MetroGrid, which is global and shard-blind.
+func (c MetroConfig) ShardRanges(k int) []IndexRange {
+	if k < 1 {
+		k = 1
+	}
+	cs := int64(c.chunkSize())
+	chunks := (c.NumNodes + cs - 1) / cs
+	if int64(k) > chunks {
+		k = int(chunks)
+	}
+	ranges := make([]IndexRange, 0, k)
+	lo := int64(0)
+	for i := 1; i <= k; i++ {
+		hi := min(int64(i)*chunks/int64(k)*cs, c.NumNodes)
+		ranges = append(ranges, IndexRange{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return ranges
+}
+
+// StreamShards streams the deployment exactly like Stream — one rng
+// sequence, index order, reused chunk slices — additionally tagging each
+// chunk with the shard that owns it under ShardRanges(k). Because shard
+// boundaries are chunk-aligned, a chunk always belongs to exactly one
+// shard, and shard indices are non-decreasing over the stream.
+func (c MetroConfig) StreamShards(k int, visit func(shard int, chunk []MetroNode) error) error {
+	ranges := c.ShardRanges(k)
+	shard := 0
+	return c.Stream(func(chunk []MetroNode) error {
+		for shard < len(ranges)-1 && chunk[0].Index >= ranges[shard].Hi {
+			shard++
+		}
+		return visit(shard, chunk)
+	})
+}
+
 // MetroGrid is the memory-bounded spatial summary of a metro deployment:
 // per-cell population counts by kind. It answers density queries in time
 // proportional to the query disc's cell footprint and costs O(cells)

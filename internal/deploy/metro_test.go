@@ -241,6 +241,95 @@ func TestMetroStreamAbortsOnVisitError(t *testing.T) {
 	}
 }
 
+func TestMetroShardRanges(t *testing.T) {
+	cfg := Metro(100_000, 1)
+	cs := int64(cfg.chunkSize())
+	for _, k := range []int{-1, 0, 1, 2, 3, 4, 7, 13, 64} {
+		ranges := cfg.ShardRanges(k)
+		wantK := k
+		if wantK < 1 {
+			wantK = 1
+		}
+		chunks := (cfg.NumNodes + cs - 1) / cs
+		if int64(wantK) > chunks {
+			wantK = int(chunks)
+		}
+		if len(ranges) != wantK {
+			t.Fatalf("k=%d: %d ranges, want %d", k, len(ranges), wantK)
+		}
+		next := int64(0)
+		for i, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("k=%d shard %d: Lo = %d, want %d (contiguous ascending)", k, i, r.Lo, next)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("k=%d shard %d: empty range %+v", k, i, r)
+			}
+			if r.Lo%cs != 0 {
+				t.Fatalf("k=%d shard %d: Lo = %d not chunk-aligned (chunk %d)", k, i, r.Lo, cs)
+			}
+			next = r.Hi
+		}
+		if next != cfg.NumNodes {
+			t.Fatalf("k=%d: ranges end at %d, want %d", k, next, cfg.NumNodes)
+		}
+	}
+}
+
+func TestMetroShardRangesMoreShardsThanChunks(t *testing.T) {
+	cfg := Metro(10_000, 1)
+	cfg.ChunkSize = 4_000 // 3 chunks
+	ranges := cfg.ShardRanges(8)
+	if len(ranges) != 3 {
+		t.Fatalf("%d ranges for 3 chunks, want 3: %+v", len(ranges), ranges)
+	}
+	if ranges[2].Hi != cfg.NumNodes {
+		t.Fatalf("last range ends at %d, want %d", ranges[2].Hi, cfg.NumNodes)
+	}
+}
+
+// TestMetroStreamShardsPartition pins the routing contract: the
+// concatenation of each shard's chunks in shard-then-stream order is
+// exactly the serial stream, every chunk lies wholly inside its shard's
+// range, and shard indices never decrease.
+func TestMetroStreamShardsPartition(t *testing.T) {
+	cfg := Metro(30_000, 5)
+	cfg.ChunkSize = 1_000
+	want := collectMetro(t, cfg)
+	const k = 4
+	ranges := cfg.ShardRanges(k)
+	perShard := make([][]MetroNode, len(ranges))
+	last := 0
+	err := cfg.StreamShards(k, func(shard int, chunk []MetroNode) error {
+		if shard < last {
+			t.Fatalf("shard index went backwards: %d after %d", shard, last)
+		}
+		last = shard
+		r := ranges[shard]
+		if chunk[0].Index < r.Lo || chunk[len(chunk)-1].Index >= r.Hi {
+			t.Fatalf("chunk [%d,%d] escapes shard %d range %+v",
+				chunk[0].Index, chunk[len(chunk)-1].Index, shard, r)
+		}
+		perShard[shard] = append(perShard[shard], chunk...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamShards: %v", err)
+	}
+	var got []MetroNode
+	for _, s := range perShard {
+		got = append(got, s...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded stream yielded %d nodes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func BenchmarkDeployMetroStream100k(b *testing.B) {
 	if testing.Short() {
 		b.Skip("metro-scale macro benchmark; run without -short")

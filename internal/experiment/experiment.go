@@ -50,6 +50,12 @@ type Options struct {
 	// Results are byte-identical for every choice — scenario.Config
 	// excludes it from cache keys — so this is purely a performance knob.
 	Queue sim.QueueKind
+	// MetroWorkers is the shard count of the metro runner's parallel
+	// identity leg (extra-metro); 0 picks a default that exercises the
+	// sharded kernel even on one CPU. Identity-pinned metro fields are
+	// byte-identical at any value, so like Queue it is a performance
+	// knob, never a result knob.
+	MetroWorkers int
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
 
+	"beaconsec/internal/metrics"
 	"beaconsec/internal/scenario"
 	"beaconsec/internal/sim"
 	"beaconsec/internal/textplot"
@@ -15,7 +17,8 @@ import (
 // auto-selected queue and the standing event population is tens of
 // thousands, small enough for a figure run; the 100k–1M regime lives in
 // the benchmarks (BenchmarkSchedulerWheelFireMillion,
-// BenchmarkDeployMetro*) and results/BENCH_*_metro.json.
+// BenchmarkDeployMetro*, BenchmarkRunMetroParallel) and
+// results/BENCH_*_metro.json / BENCH_*_parallel.json.
 func metroSizes(o Options) []int64 {
 	if o.Quick {
 		return []int64{2_000, 5_000}
@@ -23,15 +26,30 @@ func metroSizes(o Options) []int64 {
 	return []int64{5_000, 20_000, 50_000}
 }
 
+// metroWorkers is the shard count of the parallel identity leg: the
+// caller's -metro-workers if set, else 4 — deliberately more shards than
+// a small CI box has cores, so the sharded kernel is exercised (and its
+// identity contract enforced) even on one CPU.
+func metroWorkers(o Options) int {
+	if o.MetroWorkers > 0 {
+		return o.MetroWorkers
+	}
+	return 4
+}
+
 // ExtraMetro regenerates the metro-scale extension experiment: for each
-// population it runs the streamed probe scenario under BOTH event queues,
-// errors if they diverge in any way (the tentpole's byte-identity
-// contract, enforced on every figure regeneration, not just in tests),
-// and reports the deterministic outcome curves. Wall-clock throughput is
-// recorded in the notes only — it varies by machine, so it must never
-// enter the series a golden file might pin.
+// population it runs the streamed probe scenario under BOTH event queues
+// plus the space-partitioned parallel kernel, errors if the queues
+// diverge in any way or the parallel run diverges in any identity-pinned
+// field (the tentpole contracts, enforced on every figure regeneration,
+// not just in tests), and reports the deterministic outcome curves.
+// Wall-clock throughput and the execution environment are recorded in
+// the notes only — they vary by machine, so they must never enter the
+// series a golden file might pin.
 func ExtraMetro(o Options) (Result, error) {
+	ctx := context.Background()
 	sizes := metroSizes(o)
+	workers := metroWorkers(o)
 	res := Result{
 		ID:     "extra-metro",
 		Title:  "E6: metro scale — streamed scenarios at 2k-50k nodes, wheel vs heap",
@@ -49,7 +67,7 @@ func ExtraMetro(o Options) (Result, error) {
 
 		cfg.Queue = sim.QueueHeap
 		heapStart := time.Now()
-		heap, err := scenario.RunMetro(cfg)
+		heap, err := scenario.RunMetro(ctx, cfg)
 		if err != nil {
 			return Result{}, fmt.Errorf("metro %d nodes (heap): %w", n, err)
 		}
@@ -57,7 +75,7 @@ func ExtraMetro(o Options) (Result, error) {
 
 		cfg.Queue = sim.QueueWheel
 		wheelStart := time.Now()
-		wheel, err := scenario.RunMetro(cfg)
+		wheel, err := scenario.RunMetro(ctx, cfg)
 		if err != nil {
 			return Result{}, fmt.Errorf("metro %d nodes (wheel): %w", n, err)
 		}
@@ -70,6 +88,20 @@ func ExtraMetro(o Options) (Result, error) {
 				"metro %d nodes: wheel diverged from heap queue\nheap:  %s\nwheel: %s", n, hb, wb)
 		}
 
+		parStart := time.Now()
+		par, err := scenario.RunMetroParallel(ctx, cfg, workers)
+		if err != nil {
+			return Result{}, fmt.Errorf("metro %d nodes (parallel x%d): %w", n, workers, err)
+		}
+		parWall := time.Since(parStart)
+		pb, _ := json.Marshal(par.Identity())
+		sb, _ := json.Marshal(wheel.Identity())
+		if string(pb) != string(sb) {
+			return Result{}, fmt.Errorf(
+				"metro %d nodes: parallel x%d diverged from serial in identity-pinned fields\nserial:   %s\nparallel: %s",
+				n, workers, sb, pb)
+		}
+
 		xs[i] = float64(n)
 		flagRate[i] = wheel.FlagRate
 		timeoutRate[i] = float64(wheel.Timeouts) / float64(wheel.Probes)
@@ -78,10 +110,12 @@ func ExtraMetro(o Options) (Result, error) {
 
 		events := float64(wheel.Sim.Events)
 		res.Notes = append(res.Notes, fmt.Sprintf(
-			"%d nodes: %d events, max pending %d; wall-clock %.0fms heap vs %.0fms wheel (%.2fx, machine-dependent)",
+			"%d nodes: %d events, max pending %d; wall-clock %.0fms heap vs %.0fms wheel (%.2fx, machine-dependent); parallel x%d %.0fms (%.2fx vs wheel), identity-pinned fields byte-identical",
 			n, wheel.Sim.Events, wheel.Sim.MaxPending,
 			float64(heapWall.Milliseconds()), float64(wheelWall.Milliseconds()),
-			events/wheelWall.Seconds()/(events/heapWall.Seconds())))
+			events/wheelWall.Seconds()/(events/heapWall.Seconds()),
+			workers, float64(parWall.Milliseconds()),
+			wheelWall.Seconds()/parWall.Seconds()))
 
 		if o.Progress != nil {
 			o.Progress(i+1, len(sizes), time.Since(start))
@@ -93,8 +127,12 @@ func ExtraMetro(o Options) (Result, error) {
 		{Label: "max pending / nodes", X: xs, Y: pendingPerNode},
 		{Label: "p99 queue depth / nodes", X: xs, Y: depthP99},
 	}
+	env := metrics.CaptureEnv()
 	res.Notes = append(res.Notes,
 		"wheel and heap queues byte-identical at every size (checked this run)",
-		"memory-bounded: deployment streamed, per-node results never retained")
+		fmt.Sprintf("parallel kernel (x%d shards) identity-pinned fields byte-identical at every size (checked this run)", workers),
+		"memory-bounded: deployment streamed, per-node results never retained",
+		fmt.Sprintf("env: %s %s/%s, GOMAXPROCS=%d of %d CPUs (scaling numbers are meaningless without this)",
+			env.GoVersion, env.GOOS, env.GOARCH, env.GOMAXPROCS, env.NumCPU))
 	return res, nil
 }

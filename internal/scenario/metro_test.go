@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 
@@ -18,7 +20,7 @@ func metroN(t *testing.T) int64 {
 
 func TestRunMetroBasics(t *testing.T) {
 	cfg := MetroPaper(metroN(t), 1)
-	res, err := RunMetro(cfg)
+	res, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,12 +64,12 @@ func TestRunMetroBasics(t *testing.T) {
 func TestRunMetroQueueIdentity(t *testing.T) {
 	cfg := MetroPaper(metroN(t), 7)
 	cfg.Queue = sim.QueueHeap
-	heap, err := RunMetro(cfg)
+	heap, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Queue = sim.QueueWheel
-	wheel, err := RunMetro(cfg)
+	wheel, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +113,11 @@ func TestRunQueueIdentity(t *testing.T) {
 
 func TestRunMetroDeterministic(t *testing.T) {
 	cfg := MetroPaper(metroN(t), 3)
-	a, err := RunMetro(cfg)
+	a, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunMetro(cfg)
+	b, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestRunMetroDeterministic(t *testing.T) {
 		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
 	}
 	cfg.Seed = 99
-	c, err := RunMetro(cfg)
+	c, err := RunMetro(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,25 +135,44 @@ func TestRunMetroDeterministic(t *testing.T) {
 }
 
 func TestRunMetroValidates(t *testing.T) {
-	cfg := MetroPaper(1000, 1)
-	cfg.Rounds = 0
-	if _, err := RunMetro(cfg); err == nil {
-		t.Error("zero rounds accepted")
+	cases := []struct {
+		name    string
+		mutate  func(*MetroConfig)
+		wantErr bool
+	}{
+		{"baseline accepted", func(c *MetroConfig) {}, false},
+		{"zero rounds", func(c *MetroConfig) { c.Rounds = 0 }, true},
+		{"invalid deployment", func(c *MetroConfig) { c.Deploy.Range = 0 }, true},
+		{"sub-cycle timeout", func(c *MetroConfig) { c.Timeout = 2 }, true},
+		// The boundary of the Timeout >= 4 rule: the rtt span is
+		// Timeout/2, so 3 would collapse replies onto the probe tick.
+		{"timeout 3 rejected", func(c *MetroConfig) { c.Timeout = 3 }, true},
+		{"timeout 4 accepted", func(c *MetroConfig) { c.Timeout = 4 }, false},
+		{"timeout overflows clock", func(c *MetroConfig) { c.Timeout = sim.Time(math.MaxUint64 / 2) }, true},
+		// An absurd Spacing used to overflow the Spacing/4+1 jitter
+		// arithmetic into a scheduling-in-the-past panic; Validate must
+		// reject it as a config error instead.
+		{"spacing overflows clock", func(c *MetroConfig) { c.Spacing = sim.Time(math.MaxUint64 / 4) }, true},
+		{"certain loss", func(c *MetroConfig) { c.LossRate = 1 }, true},
+		{"negative workers", func(c *MetroConfig) { c.Workers = -1 }, true},
 	}
-	cfg = MetroPaper(1000, 1)
-	cfg.Deploy.Range = 0
-	if _, err := RunMetro(cfg); err == nil {
-		t.Error("invalid deployment accepted")
-	}
-	cfg = MetroPaper(1000, 1)
-	cfg.Timeout = 2
-	if _, err := RunMetro(cfg); err == nil {
-		t.Error("sub-cycle timeout accepted")
-	}
-	cfg = MetroPaper(1000, 1)
-	cfg.LossRate = 1
-	if _, err := RunMetro(cfg); err == nil {
-		t.Error("certain loss accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := MetroPaper(1000, 1)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr && err == nil {
+				t.Errorf("%s: Validate accepted the config", tc.name)
+			}
+			if !tc.wantErr && err != nil {
+				t.Errorf("%s: Validate rejected the config: %v", tc.name, err)
+			}
+			if tc.wantErr {
+				if _, rerr := RunMetro(context.Background(), cfg); rerr == nil {
+					t.Errorf("%s: RunMetro accepted the config", tc.name)
+				}
+			}
+		})
 	}
 }
 
@@ -165,7 +186,7 @@ func BenchmarkRunMetro10k(b *testing.B) {
 			cfg.Queue = kind
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := RunMetro(cfg); err != nil {
+				if _, err := RunMetro(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
